@@ -1,0 +1,67 @@
+"""Ablation — pre-copy vs post-copy for active VMs (§2, §3.1).
+
+Oasis live-migrates active VMs with *pre-copy* "because it offers
+minimal performance degradation to active workloads during migration";
+post-copy resumes the VM almost immediately but then stalls it on
+remote page faults, which is also why partial VMs (post-copy's
+demand-fetch half, §2) must be converted to full before real use.  This
+bench puts numbers on that design choice for a 4 GiB VM across dirty
+rates.
+"""
+
+from repro.analysis import format_table
+from repro.migration import PostCopyModel, PreCopyModel
+
+DIRTY_RATES_MIB_S = (2.0, 10.0, 40.0, 80.0)
+MEMORY_MIB = 4096.0
+ACTIVE_WORKING_SET_MIB = 600.0
+
+
+def compute_comparison():
+    precopy = PreCopyModel()
+    postcopy = PostCopyModel()
+    rows = []
+    for dirty_rate in DIRTY_RATES_MIB_S:
+        pre = precopy.migrate(MEMORY_MIB, dirty_rate)
+        post = postcopy.migrate(MEMORY_MIB, ACTIVE_WORKING_SET_MIB)
+        rows.append((dirty_rate, pre, post))
+    return rows
+
+
+def test_ablation_migration_mechanism(benchmark, report):
+    comparison = benchmark(compute_comparison)
+
+    rows = []
+    for dirty_rate, pre, post in comparison:
+        rows.append([
+            f"{dirty_rate:g}",
+            f"{pre.total_s:.1f}",
+            f"{pre.downtime_s:.2f}",
+            f"{pre.transferred_mib:.0f}",
+            f"{post.downtime_s:.2f}",
+            f"{post.demand_faults:,}",
+            f"{post.completion_s:.1f}",
+        ])
+    table = format_table(
+        ["dirty MiB/s", "pre total s", "pre downtime s", "pre MiB",
+         "post downtime s", "post stall faults", "post complete s"],
+        rows,
+    )
+    note = (
+        "pre-copy: longer migrations, near-zero downtime, extra redirty "
+        "traffic; post-copy: instant resume but tens of thousands of "
+        "remote-fault stalls while the image streams — the degradation "
+        "Oasis avoids by using pre-copy for active VMs (§3.1)"
+    )
+    report("ablation_migration_mechanism", table + "\n" + note)
+
+    for _dirty_rate, pre, post in comparison:
+        # Pre-copy's downtime stays sub-second at idle-ish dirty rates;
+        # its cost is time and traffic.
+        assert post.downtime_s < pre.total_s * 0.05
+        assert pre.transferred_mib >= MEMORY_MIB
+        # Post-copy pays in demand faults that pre-copy never incurs.
+        assert post.demand_faults > 10_000
+    # Pre-copy transfers grow with dirty rate (the redirty tax).
+    transfers = [pre.transferred_mib for _d, pre, _p in comparison]
+    assert transfers == sorted(transfers)

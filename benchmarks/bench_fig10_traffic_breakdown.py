@@ -1,0 +1,62 @@
+"""Figure 10 — weekday network-transfer breakdown by policy.
+
+Paper anchors: FulltoPartial increases both full- and partial-migration
+traffic over Default — the exchange optimization trades network traffic
+for energy.
+"""
+
+from repro.analysis import format_table
+from repro.core import ALL_POLICIES
+from repro.farm import FarmConfig, simulate_day
+from repro.migration.traffic import TrafficCategory
+from repro.traces import DayType
+
+
+def compute_breakdown(seed):
+    traffic = {}
+    for policy in ALL_POLICIES:
+        result = simulate_day(FarmConfig(), policy, DayType.WEEKDAY, seed=seed)
+        traffic[policy.name] = result.traffic
+    return traffic
+
+
+def test_fig10_traffic_breakdown(benchmark, report, bench_seed):
+    traffic = benchmark.pedantic(
+        compute_breakdown, args=(bench_seed,), rounds=1, iterations=1
+    )
+
+    def gib(mib):
+        return f"{mib / 1024.0:.1f}"
+
+    rows = []
+    for name, ledger in traffic.items():
+        rows.append([
+            name,
+            gib(ledger.full_path_mib()),
+            gib(ledger.mib(TrafficCategory.PARTIAL_DESCRIPTOR)),
+            gib(ledger.mib(TrafficCategory.ON_DEMAND_PAGES)),
+            gib(ledger.mib(TrafficCategory.REINTEGRATION)),
+            gib(ledger.network_total_mib()),
+            gib(ledger.mib(TrafficCategory.MEMORY_UPLOAD_SAS)),
+        ])
+    table = format_table(
+        ["policy", "full GiB", "descriptor GiB", "on-demand GiB",
+         "reintegration GiB", "network total GiB", "(local SAS GiB)"],
+        rows,
+    )
+    note = (
+        "paper: FulltoPartial raises both full and partial traffic over "
+        "Default — energy is bought with network bytes (SAS uploads stay "
+        "off the datacenter network)"
+    )
+    report("fig10_traffic_breakdown", table + "\n" + note)
+
+    ftp = traffic["FulltoPartial"]
+    default = traffic["Default"]
+    only = traffic["OnlyPartial"]
+    assert ftp.full_path_mib() > default.full_path_mib()
+    assert ftp.partial_path_mib() > default.partial_path_mib()
+    assert ftp.network_total_mib() > default.network_total_mib()
+    # OnlyPartial moves no full images at all.
+    assert only.mib(TrafficCategory.FULL_MIGRATION) == 0.0
+    assert only.mib(TrafficCategory.CONVERSION_PULL) == 0.0

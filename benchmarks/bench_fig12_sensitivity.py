@@ -1,0 +1,80 @@
+"""Figure 12 — sensitivity to cluster shape at a fixed 900 VMs.
+
+Paper anchors: with the 900 VMs repacked onto 30/20/18/15/10 home hosts
+(30/45/50/60/90 VMs per host, host capacity scaling along) and two to
+four consolidation hosts, weekday and weekend savings barely move.
+"""
+
+from repro.analysis import format_percent, format_table
+from repro.core import FULL_TO_PARTIAL
+from repro.farm import FarmConfig
+from repro.farm.sweep import cluster_shape_sweep
+from repro.traces import DayType
+
+SHAPES = (
+    (30, 2), (30, 4), (30, 6),
+    (20, 2), (20, 3), (20, 4),
+    (18, 2), (18, 3), (18, 4),
+    (15, 2), (15, 3), (15, 4),
+    (10, 2), (10, 3), (10, 4),
+)
+
+
+def compute_sensitivity(runs, seed):
+    config = FarmConfig()
+    return {
+        day_type: cluster_shape_sweep(
+            config, FULL_TO_PARTIAL, day_type, shapes=SHAPES,
+            runs=runs, base_seed=seed,
+        )
+        for day_type in (DayType.WEEKDAY, DayType.WEEKEND)
+    }
+
+
+def test_fig12_sensitivity(benchmark, report, bench_runs, bench_seed):
+    sweeps = benchmark.pedantic(
+        compute_sensitivity, args=(bench_runs, bench_seed),
+        rounds=1, iterations=1,
+    )
+
+    weekday = dict(sweeps[DayType.WEEKDAY])
+    weekend = dict(sweeps[DayType.WEEKEND])
+    rows = [
+        [label,
+         format_percent(weekday[label].mean_savings),
+         format_percent(weekend[label].mean_savings)]
+        for label, _ in sweeps[DayType.WEEKDAY]
+    ]
+    table = format_table(
+        ["home+consolidation", "weekday savings", "weekend savings"], rows
+    )
+    note = (
+        "paper: savings are similar independent of the number of VMs "
+        "assigned to a home host.  Reproduction deviation (see "
+        "EXPERIMENTS.md): the per-VM power term that anchors every other "
+        "result makes denser home hosts save a larger *fraction* here, so "
+        "our curves tilt upward toward the 10-home shapes where the "
+        "paper's stay flat; within each home-host count the consolidation-"
+        "host count indeed barely matters."
+    )
+    report("fig12_sensitivity", table + "\n" + note)
+
+    home_counts = sorted({homes for homes, _cons in SHAPES})
+    for table_data in (weekday, weekend):
+        for homes in home_counts:
+            group = [
+                table_data[f"{homes}+{cons}"].mean_savings
+                for h, cons in SHAPES
+                if h == homes
+            ]
+            # Within one cluster shape, consolidation-host count barely
+            # moves the needle (the paper's level-off).
+            assert max(group) - min(group) < 0.05
+    # Every shape delivers substantial savings on both day types.
+    for homes, cons in SHAPES:
+        assert weekday[f"{homes}+{cons}"].mean_savings > 0.15
+        assert weekend[f"{homes}+{cons}"].mean_savings > 0.30
+    # Weekends always beat weekdays, regardless of shape.
+    for homes, cons in SHAPES:
+        label = f"{homes}+{cons}"
+        assert weekend[label].mean_savings > weekday[label].mean_savings

@@ -1,0 +1,48 @@
+"""Figure 5 — consolidation latencies for one VM.
+
+Paper anchors: full live migration 41 s; first partial migration 15.7 s
+(10.2 s memory upload); second partial migration 7.2 s (2.2 s
+differential upload); reintegration 3.7 s; descriptor-only lower bound
+~5.2 s.
+"""
+
+from repro.analysis import format_table
+from repro.prototype import ConsolidationMicrobench
+
+PAPER_FIG5 = {
+    "full migration": 41.0,
+    "partial migration #1": 15.7,
+    "partial migration #2": 7.2,
+    "reintegration": 3.7,
+    "descriptor push (lower bound)": 5.2,
+}
+
+
+def test_fig5_consolidation_latency(benchmark, report):
+    result = benchmark(lambda: ConsolidationMicrobench().run())
+
+    rows = []
+    for label, measured in result.rows().items():
+        paper = PAPER_FIG5[label]
+        rows.append([
+            label, f"{measured:.1f}", f"{paper:.1f}",
+            f"{measured / paper:.2f}x",
+        ])
+    rows.append([
+        "memory upload #1", f"{result.memory_upload_1_s:.1f}", "10.2",
+        f"{result.memory_upload_1_s / 10.2:.2f}x",
+    ])
+    rows.append([
+        "memory upload #2 (differential)",
+        f"{result.memory_upload_2_s:.1f}", "2.2",
+        f"{result.memory_upload_2_s / 2.2:.2f}x",
+    ])
+    table = format_table(
+        ["operation", "measured s", "paper s", "ratio"], rows
+    )
+    report("fig5_consolidation_latency", table)
+
+    for label, measured in result.rows().items():
+        assert abs(measured - PAPER_FIG5[label]) / PAPER_FIG5[label] < 0.12
+    # The differential upload must beat the first upload decisively.
+    assert result.memory_upload_2_s < 0.35 * result.memory_upload_1_s

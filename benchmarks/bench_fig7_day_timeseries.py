@@ -1,0 +1,72 @@
+"""Figure 7 — active VMs and fully-powered hosts over a simulated day.
+
+Paper anchors (30 home + 4 consolidation hosts, FulltoPartial): never
+more than 411 (46%) of the 900 VMs are active at once; activity peaks
+around 2 pm and bottoms near 6:30 am; at the trough all 900 VMs fit in
+three consolidation hosts.
+"""
+
+from repro.analysis import format_table, moving_average
+from repro.core import FULL_TO_PARTIAL
+from repro.farm import FarmConfig, simulate_day
+from repro.traces import DayType
+
+
+def compute_day(seed):
+    return {
+        day_type: simulate_day(
+            FarmConfig(), FULL_TO_PARTIAL, day_type, seed=seed
+        )
+        for day_type in (DayType.WEEKDAY, DayType.WEEKEND)
+    }
+
+
+def test_fig7_day_timeseries(benchmark, report, save_series, bench_seed):
+    results = benchmark.pedantic(
+        compute_day, args=(bench_seed,), rounds=1, iterations=1
+    )
+    weekday = results[DayType.WEEKDAY]
+
+    rows = []
+    for hour in range(0, 24, 2):
+        lo, hi = hour * 12, (hour + 2) * 12
+        def mean(series):
+            return sum(series[lo:hi]) / (hi - lo)
+        rows.append([
+            f"{hour:02d}:00",
+            f"{mean(weekday.active_vms):.0f}",
+            f"{mean(weekday.powered_hosts):.1f}",
+            f"{mean(results[DayType.WEEKEND].active_vms):.0f}",
+            f"{mean(results[DayType.WEEKEND].powered_hosts):.1f}",
+        ])
+    table = format_table(
+        ["hour", "wd active", "wd powered", "we active", "we powered"], rows
+    )
+    smoothed = moving_average(weekday.active_vms, window=12)
+    peak_index = max(range(len(smoothed)), key=smoothed.__getitem__)
+    trough_index = min(range(len(smoothed)), key=smoothed.__getitem__)
+    note = (
+        f"weekday peak {weekday.peak_active_vms} active VMs "
+        f"(paper: <= 411) at {peak_index / 12:.1f} h (paper: ~14 h); "
+        f"trough at {trough_index / 12:.1f} h (paper: ~6.5 h); "
+        f"min powered hosts {weekday.min_powered_hosts} "
+        f"(paper: 3 consolidation hosts hold all 900 VMs)"
+    )
+    report("fig7_day_timeseries", table + "\n" + note)
+    save_series(
+        "fig7_day_timeseries",
+        ["time_s", "wd_active", "wd_powered", "we_active", "we_powered"],
+        zip(
+            weekday.sample_times_s,
+            weekday.active_vms,
+            weekday.powered_hosts,
+            results[DayType.WEEKEND].active_vms,
+            results[DayType.WEEKEND].powered_hosts,
+        ),
+    )
+
+    assert weekday.peak_active_vms <= 0.52 * 900
+    assert 11.0 <= peak_index / 12 <= 17.0
+    assert 4.0 <= trough_index / 12 <= 8.5
+    assert weekday.min_powered_hosts <= 5
+    assert max(weekday.powered_hosts) >= 28

@@ -1,0 +1,90 @@
+"""Figure 8 — energy savings vs number of consolidation hosts.
+
+Paper anchors (30 home hosts): OnlyPartial saves ~6%; Default only
+marginally more; FulltoPartial reaches 28% on weekdays and 43% on
+weekends; NewHome adds nothing over FulltoPartial; savings rise with
+consolidation hosts until ~4 and then level off.
+"""
+
+from repro.analysis import format_percent, format_table
+from repro.core import ALL_POLICIES
+from repro.farm import FarmConfig
+from repro.farm.sweep import consolidation_host_sweep
+from repro.traces import DayType
+
+CONSOLIDATION_COUNTS = (2, 4, 6, 8, 10, 12)
+
+
+def compute_sweeps(runs, seed):
+    config = FarmConfig()
+    return {
+        day_type: consolidation_host_sweep(
+            config, ALL_POLICIES, day_type,
+            consolidation_counts=CONSOLIDATION_COUNTS,
+            runs=runs, base_seed=seed,
+        )
+        for day_type in (DayType.WEEKDAY, DayType.WEEKEND)
+    }
+
+
+def test_fig8_energy_savings(benchmark, report, save_series, bench_runs, bench_seed):
+    sweeps = benchmark.pedantic(
+        compute_sweeps, args=(bench_runs, bench_seed), rounds=1, iterations=1
+    )
+
+    sections = []
+    for day_type, sweep in sweeps.items():
+        rows = []
+        for policy_name, series in sweep.items():
+            row = [policy_name]
+            for _count, point in series:
+                row.append(
+                    f"{format_percent(point.mean_savings)}"
+                    f"±{format_percent(point.std_savings)}"
+                )
+            rows.append(row)
+        headers = ["policy"] + [f"{c} cons" for c in CONSOLIDATION_COUNTS]
+        sections.append(f"-- {day_type.value} --\n"
+                        + format_table(headers, rows))
+    note = (
+        "paper @4 consolidation hosts: OnlyPartial ~6%, FulltoPartial "
+        "28% weekday / 43% weekend, NewHome ~= FulltoPartial"
+    )
+    report("fig8_energy_savings", "\n\n".join(sections) + "\n" + note)
+    rows_csv = []
+    for day_type, sweep in sweeps.items():
+        for policy_name, series in sweep.items():
+            for count, point in series:
+                rows_csv.append([
+                    day_type.value, policy_name, count,
+                    f"{point.mean_savings:.4f}", f"{point.std_savings:.4f}",
+                ])
+    save_series(
+        "fig8_energy_savings",
+        ["day_type", "policy", "consolidation_hosts",
+         "mean_savings", "std_savings"],
+        rows_csv,
+    )
+
+    weekday = sweeps[DayType.WEEKDAY]
+    weekend = sweeps[DayType.WEEKEND]
+    at4 = {name: dict(series)[4] for name, series in weekday.items()}
+
+    # Headline magnitudes.
+    assert 0.20 <= at4["FulltoPartial"].mean_savings <= 0.36
+    assert 0.33 <= dict(weekend["FulltoPartial"])[4].mean_savings <= 0.53
+    assert 0.00 <= at4["OnlyPartial"].mean_savings <= 0.12
+    # Ordering: who wins.
+    assert (
+        at4["OnlyPartial"].mean_savings
+        < at4["Default"].mean_savings
+        < at4["FulltoPartial"].mean_savings + 0.02
+    )
+    assert abs(
+        at4["NewHome"].mean_savings - at4["FulltoPartial"].mean_savings
+    ) < 0.06
+    # Shape: rises to the knee at 4 hosts, then levels off.
+    ftp = dict(weekday["FulltoPartial"])
+    assert ftp[4].mean_savings > ftp[2].mean_savings
+    for count in (6, 8, 10, 12):
+        assert abs(ftp[count].mean_savings - ftp[4].mean_savings) < 0.05

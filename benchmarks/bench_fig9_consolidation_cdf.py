@@ -1,0 +1,66 @@
+"""Figure 9 — CDF of VMs per consolidation host.
+
+Paper anchors: FulltoPartial consolidates much denser than Default (the
+median rises from 60 to 93 in the paper's runs); NewHome's distribution
+overlaps FulltoPartial's; densities reach many hundreds of (mostly
+partial) VMs per host.
+"""
+
+from repro.analysis import Cdf, format_table
+from repro.core import ALL_POLICIES
+from repro.farm import FarmConfig, simulate_day
+from repro.traces import DayType
+
+
+def compute_cdfs(seed):
+    cdfs = {}
+    for policy in ALL_POLICIES:
+        result = simulate_day(
+            FarmConfig(), policy, DayType.WEEKDAY, seed=seed
+        )
+        cdfs[policy.name] = Cdf(result.consolidation_ratio_samples)
+    return cdfs
+
+
+def test_fig9_consolidation_cdf(benchmark, report, save_series, bench_seed):
+    cdfs = benchmark.pedantic(
+        compute_cdfs, args=(bench_seed,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for name, cdf in cdfs.items():
+        rows.append([
+            name, f"{cdf.percentile(25):.0f}", f"{cdf.median():.0f}",
+            f"{cdf.percentile(75):.0f}", f"{cdf.percentile(90):.0f}",
+            f"{cdf.max:.0f}",
+        ])
+    table = format_table(
+        ["policy", "p25", "median", "p75", "p90", "max"], rows
+    )
+    ratio = cdfs["FulltoPartial"].median() / cdfs["Default"].median()
+    note = (
+        f"FulltoPartial/Default median ratio: {ratio:.2f} "
+        f"(paper: 93/60 = 1.55); NewHome overlaps FulltoPartial"
+    )
+    report("fig9_consolidation_cdf", table + "\n" + note)
+    rows_csv = []
+    for name, cdf in cdfs.items():
+        for value, probability in cdf.points(max_points=120):
+            rows_csv.append([name, value, f"{probability:.4f}"])
+    save_series(
+        "fig9_consolidation_cdf",
+        ["policy", "vms_per_host", "cumulative_probability"],
+        rows_csv,
+    )
+
+    # FulltoPartial consolidates denser than Default, by a factor in the
+    # paper's ballpark.
+    assert cdfs["FulltoPartial"].median() > cdfs["Default"].median()
+    assert 1.2 <= ratio <= 2.6
+    # Densities reach hundreds per host (the Figure 9 x-axis runs to 800).
+    assert cdfs["FulltoPartial"].max > 300
+    # NewHome tracks FulltoPartial.
+    assert (
+        abs(cdfs["NewHome"].median() - cdfs["FulltoPartial"].median())
+        < 0.5 * cdfs["FulltoPartial"].median()
+    )

@@ -1,0 +1,47 @@
+"""Table 1 — energy profiles and S3 transition times.
+
+The power-meter harness drives the host and memory-server models through
+every Table 1 phase on the event kernel and derives each phase's mean
+power from integrated energy over elapsed time.
+"""
+
+from repro.analysis import format_table
+from repro.prototype import measure_energy_profiles
+
+PAPER_TABLE1 = {
+    ("Custom host", "Idle"): (None, 102.2),
+    ("Custom host", "20 VMs"): (None, 137.9),
+    ("Custom host", "Suspend"): (3.1, 138.2),
+    ("Custom host", "Resume"): (2.3, 149.2),
+    ("Custom host", "Sleep (S3)"): (None, 12.9),
+    ("Memory server", "Idle"): (None, 27.8),
+    ("SAS drive", "Idle"): (None, 14.4),
+}
+
+
+def test_table1_energy_profiles(benchmark, report):
+    readings = benchmark(measure_energy_profiles)
+
+    rows = []
+    for reading in readings:
+        time_s, power_w = PAPER_TABLE1[(reading.device, reading.state)]
+        rows.append([
+            reading.device,
+            reading.state,
+            f"{reading.time_s:.1f}" if reading.time_s else "N/A",
+            f"{reading.power_w:.1f}",
+            f"{time_s:.1f}" if time_s else "N/A",
+            f"{power_w:.1f}",
+        ])
+    table = format_table(
+        ["Device", "State", "Time (s)", "Power (W)",
+         "paper s", "paper W"],
+        rows,
+    )
+    report("table1_energy_profiles", table)
+
+    for reading in readings:
+        paper_time, paper_power = PAPER_TABLE1[(reading.device, reading.state)]
+        assert abs(reading.power_w - paper_power) < 0.05
+        if paper_time is not None:
+            assert abs(reading.time_s - paper_time) < 0.01

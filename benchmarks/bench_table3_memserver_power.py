@@ -1,0 +1,62 @@
+"""Table 3 — savings with alternative memory-server implementations.
+
+Paper anchors: replacing the 42.2 W prototype (Atom platform + SAS
+drive) with leaner designs raises savings monotonically, up to ~41%
+weekday / ~68% weekend at a 1 W design.
+"""
+
+from repro.analysis import format_percent, format_table
+from repro.core import FULL_TO_PARTIAL
+from repro.farm import FarmConfig
+from repro.farm.sweep import memory_server_power_sweep
+
+PAPER_TABLE3 = {
+    42.2: (0.28, 0.43),
+    16.0: (0.34, 0.59),
+    8.0: (0.37, 0.65),
+    4.0: (0.39, 0.66),
+    2.0: (0.41, 0.67),
+    1.0: (0.41, 0.68),
+}
+
+
+def test_table3_memserver_power(benchmark, report, bench_runs, bench_seed):
+    rows_data = benchmark.pedantic(
+        lambda: memory_server_power_sweep(
+            FarmConfig(), FULL_TO_PARTIAL,
+            watts_options=tuple(PAPER_TABLE3),
+            runs=bench_runs, base_seed=bench_seed,
+        ),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for watts, weekday, weekend in rows_data:
+        paper_wd, paper_we = PAPER_TABLE3[watts]
+        label = "prototype" if watts == 42.2 else f"{watts:g} W"
+        rows.append([
+            label,
+            format_percent(weekday.mean_savings),
+            format_percent(paper_wd),
+            format_percent(weekend.mean_savings),
+            format_percent(paper_we),
+        ])
+    table = format_table(
+        ["memory server", "weekday", "paper wd", "weekend", "paper we"],
+        rows,
+    )
+    report("table3_memserver_power", table)
+
+    # Monotone: leaner memory servers never hurt.
+    weekday_series = [weekday.mean_savings for _w, weekday, _we in rows_data]
+    weekend_series = [weekend.mean_savings for _w, _wd, weekend in rows_data]
+    for earlier, later in zip(weekday_series, weekday_series[1:]):
+        assert later >= earlier - 0.01
+    for earlier, later in zip(weekend_series, weekend_series[1:]):
+        assert later >= earlier - 0.01
+    # Magnitudes against the paper (the substitution bands).
+    by_watts = {watts: (wd, we) for watts, wd, we in rows_data}
+    assert abs(by_watts[42.2][0].mean_savings - 0.28) < 0.06
+    assert abs(by_watts[42.2][1].mean_savings - 0.43) < 0.07
+    assert abs(by_watts[1.0][0].mean_savings - 0.41) < 0.06
+    assert abs(by_watts[1.0][1].mean_savings - 0.68) < 0.09

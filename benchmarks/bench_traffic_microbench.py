@@ -1,0 +1,39 @@
+"""§4.4.3 — network traffic of full vs partial migration (one VM).
+
+Paper anchors: a full migration ships the whole 4 GiB image; a partial
+migration ships 16.0±0.5 MiB of descriptor plus 56.9±7.9 MiB of
+on-demand pages; reintegration pushes back 175.3±49.3 MiB of dirty
+state.
+"""
+
+from repro.analysis import format_table
+from repro.prototype import ConsolidationMicrobench
+
+
+def test_traffic_microbench(benchmark, report):
+    result = benchmark(lambda: ConsolidationMicrobench().run())
+
+    rows = [
+        ["full migration image", f"{result.full_migration_traffic_mib:.0f}",
+         ">= 4096"],
+        ["partial descriptor", f"{result.descriptor_mib:.1f}", "16.0 ± 0.5"],
+        ["on-demand pages", f"{result.on_demand_mib:.1f}", "56.9 ± 7.9"],
+        ["reintegration dirty", f"{result.reintegration_mib:.1f}",
+         "175.3 ± 49.3"],
+    ]
+    table = format_table(["transfer", "measured MiB", "paper MiB"], rows)
+    partial_total = (
+        result.descriptor_mib + result.on_demand_mib + result.reintegration_mib
+    )
+    note = (
+        f"partial path total {partial_total:.0f} MiB vs "
+        f"{result.full_migration_traffic_mib:.0f} MiB for full migration "
+        f"({result.full_migration_traffic_mib / partial_total:.0f}x more)"
+    )
+    report("traffic_microbench", table + "\n" + note)
+
+    assert result.full_migration_traffic_mib >= 4096.0
+    assert abs(result.descriptor_mib - 16.0) <= 0.5
+    assert abs(result.on_demand_mib - 56.9) <= 7.9
+    assert abs(result.reintegration_mib - 175.3) <= 49.3
+    assert partial_total < 0.1 * result.full_migration_traffic_mib

@@ -1,0 +1,72 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one of the paper's tables or figures and emits a
+paper-vs-measured report.  Reports are written to
+``benchmarks/results/<name>.txt`` and mirrored to the real stdout so they
+appear in ``pytest benchmarks/ --benchmark-only`` output even under
+capture.
+
+Environment knobs:
+
+* ``REPRO_BENCH_RUNS`` — repetitions per configuration for the cluster
+  sweeps (default 2; the paper uses 5);
+* ``REPRO_BENCH_SEED`` — base seed (default 0).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Repetitions per sweep configuration (paper: five).
+BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "2"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture
+def report():
+    """Write a named report file and mirror it to the terminal."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        sys.__stdout__.write(f"\n===== {name} =====\n{text}\n")
+        sys.__stdout__.flush()
+
+    return _report
+
+
+@pytest.fixture
+def save_series():
+    """Write plottable CSV series next to the text reports.
+
+    ``save_series(name, header, rows)`` produces
+    ``benchmarks/results/<name>.csv`` so the figures can be re-plotted
+    with any tool.
+    """
+
+    def _save(name: str, header, rows) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.csv"
+        with open(path, "w") as handle:
+            handle.write(",".join(str(cell) for cell in header) + "\n")
+            for row in rows:
+                handle.write(",".join(str(cell) for cell in row) + "\n")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def bench_runs():
+    return BENCH_RUNS
+
+
+@pytest.fixture(scope="session")
+def bench_seed():
+    return BENCH_SEED

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Energy audit for a VDI deployment: what would Oasis save *here*?
+
+A downstream operator's workflow: bring your own activity traces (or
+generate a synthetic population), describe your rack, and get a report —
+projected savings, how the cluster breathes over the day, what users
+would feel, and how much network headroom the churn needs.
+
+Run with::
+
+    python examples/datacenter_audit.py [--traces traces.csv]
+    python examples/datacenter_audit.py --users 900 --home-hosts 30
+
+Generate a trace file to edit with::
+
+    python -m repro traces generate --count 900 --out traces.csv
+"""
+
+import argparse
+
+from repro import DayType, FarmConfig, FULL_TO_PARTIAL
+from repro.analysis import Cdf, bin_series, format_percent, format_table
+from repro.farm import FarmSimulation
+from repro.traces import compute_ensemble_stats, generate_ensemble
+from repro.traces.io import read_ensemble_csv
+
+
+def load_ensemble(args):
+    if args.traces:
+        ensemble = read_ensemble_csv(args.traces)
+        print(f"loaded {len(ensemble)} user-days from {args.traces}")
+        return ensemble
+    return generate_ensemble(args.users, DayType.WEEKDAY, seed=args.seed)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--traces", help="CSV of user-day traces")
+    parser.add_argument("--users", type=int, default=900)
+    parser.add_argument("--home-hosts", type=int, default=30)
+    parser.add_argument("--consolidation-hosts", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    ensemble = load_ensemble(args)
+    if len(ensemble) % args.home_hosts:
+        parser.error(
+            f"{len(ensemble)} users do not divide over "
+            f"{args.home_hosts} home hosts"
+        )
+    config = FarmConfig(
+        home_hosts=args.home_hosts,
+        consolidation_hosts=args.consolidation_hosts,
+        vms_per_host=len(ensemble) // args.home_hosts,
+    )
+
+    print()
+    print("workload profile:", compute_ensemble_stats(
+        ensemble, host_group_size=config.vms_per_host
+    ))
+
+    simulation = FarmSimulation(config, FULL_TO_PARTIAL, ensemble,
+                                seed=args.seed)
+    result = simulation.run()
+
+    print()
+    print("=== projected energy ===")
+    from repro.energy import ElectricityTariff, SavingsStatement
+
+    statement = SavingsStatement(result.energy, ElectricityTariff())
+    print(f"savings: {format_percent(result.savings_fraction)} — "
+          f"{statement}")
+    print(f"home hosts sleep "
+          f"{format_percent(result.mean_home_sleep_fraction())} of the day")
+
+    print()
+    print("=== how the cluster breathes ===")
+    binned = bin_series(
+        result.sample_times_s,
+        [float(x) for x in result.powered_hosts],
+        bin_width=4 * 3600.0,
+    )
+    rows = [
+        [f"{int(start // 3600):02d}:00-{int(start // 3600) + 4:02d}:00",
+         f"{mean_powered:.1f} / {config.home_hosts + config.consolidation_hosts}"]
+        for start, mean_powered in binned
+    ]
+    print(format_table(["window", "mean powered hosts"], rows))
+
+    print()
+    print("=== what users feel ===")
+    cdf = Cdf(result.delay_values())
+    print(f"{format_percent(result.zero_delay_fraction())} of wake-ups are "
+          f"instant; p99 delay {cdf.percentile(99):.1f} s, worst "
+          f"{cdf.max:.1f} s")
+
+    print()
+    print("=== network headroom needed ===")
+    total_gib = result.traffic.network_total_mib() / 1024
+    print(f"{total_gib:.0f} GiB/day of migration traffic "
+          f"({total_gib * 1024 / 86400:.0f} MiB/s sustained average) — "
+          f"keep home and consolidation hosts on the same rack switch")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

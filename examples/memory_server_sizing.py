@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""What is a leaner memory server worth?  (Table 3 as a sizing tool.)
+
+The prototype's memory server draws 42.2 W (Atom platform + SAS drive) —
+a large bite out of the 89 W a sleeping host saves.  This example sweeps
+candidate designs, from the prototype down to a 1 W embedded service
+processor with direct DRAM access, and reports the cluster-level energy
+savings each would deliver, plus the break-even draw at which the
+memory-server idea stops paying at all.
+
+Run with::
+
+    python examples/memory_server_sizing.py [--runs N]
+"""
+
+import argparse
+
+from repro import DayType, FarmConfig, FULL_TO_PARTIAL
+from repro.analysis import format_percent, format_table
+from repro.farm.sweep import memory_server_power_sweep
+
+DESIGNS = {
+    42.2: "prototype: Atom platform + dedicated SAS drive",
+    16.0: "embedded SoC, no spinning drive",
+    8.0: "service-processor class (iLO/DRAC extension)",
+    4.0: "microcontroller + host-DRAM self-refresh access",
+    2.0: "ASIC integrated on the motherboard",
+    1.0: "NIC-integrated page responder",
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    sweep = memory_server_power_sweep(
+        FarmConfig(), FULL_TO_PARTIAL,
+        watts_options=tuple(DESIGNS),
+        runs=args.runs, base_seed=args.seed,
+    )
+
+    rows = []
+    for watts, weekday, weekend in sweep:
+        rows.append([
+            f"{watts:g} W",
+            format_percent(weekday.mean_savings),
+            format_percent(weekend.mean_savings),
+            DESIGNS[watts],
+        ])
+    print(format_table(
+        ["draw", "weekday", "weekend", "design"], rows
+    ))
+
+    prototype = sweep[0]
+    leanest = sweep[-1]
+    weekday_gain = leanest[1].mean_savings - prototype[1].mean_savings
+    weekend_gain = leanest[2].mean_savings - prototype[2].mean_savings
+    print()
+    print(
+        f"going from the prototype to a {leanest[0]:g} W design is worth "
+        f"{format_percent(weekday_gain)} more on weekdays and "
+        f"{format_percent(weekend_gain)} more on weekends "
+        f"(paper: 28->41% and 43->68%)"
+    )
+    print(
+        "break-even: a memory server drawing more than the ~89 W gap "
+        "between an idle host (102.2 W) and S3 (12.9 W) would make "
+        "sleeping pointless"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one day of an Oasis-managed VDI farm.
+
+Builds the paper's standard rack (30 home hosts x 30 VMs, four
+consolidation hosts), generates a synthetic weekday of user activity for
+the 900 desktop users, runs the FulltoPartial policy, and prints the
+headline numbers.
+
+Run with::
+
+    python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro import DayType, FarmConfig, FULL_TO_PARTIAL, simulate_day
+from repro.analysis import Cdf, format_percent
+
+
+def main() -> int:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+
+    config = FarmConfig()  # the paper's standard setup
+    print(
+        f"simulating {config.total_vms} VMs on {config.home_hosts} home + "
+        f"{config.consolidation_hosts} consolidation hosts "
+        f"({FULL_TO_PARTIAL.name} policy, weekday, seed {seed}) ..."
+    )
+    result = simulate_day(config, FULL_TO_PARTIAL, DayType.WEEKDAY, seed=seed)
+
+    print()
+    print(f"energy savings     {format_percent(result.savings_fraction)} "
+          f"(paper: up to 28% on weekdays)")
+    print(f"baseline energy    {result.energy.baseline_wh / 1000:.1f} kWh")
+    print(f"managed energy     {result.energy.managed_wh / 1000:.1f} kWh")
+    print(f"home-host sleep    "
+          f"{format_percent(result.mean_home_sleep_fraction())} of the day")
+    print(f"peak active VMs    {result.peak_active_vms} / {config.total_vms}")
+    print(f"smallest cluster   {result.min_powered_hosts} powered hosts")
+
+    delays = result.delay_values()
+    cdf = Cdf(delays)
+    print()
+    print(f"user transitions   {len(delays)} "
+          f"({format_percent(result.zero_delay_fraction())} saw no delay)")
+    print(f"delay p50 / p99    {cdf.median():.1f} s / "
+          f"{cdf.percentile(99):.1f} s")
+    print(f"network traffic    "
+          f"{result.traffic.network_total_mib() / 1024:.0f} GiB")
+    print()
+    print("migrations:", result.counters)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+only exists so that editable installs work in offline environments whose
+setuptools lacks wheel support (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

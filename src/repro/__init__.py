@@ -1,0 +1,58 @@
+"""repro — a reproduction of *Oasis: Energy Proportionality with Hybrid
+Server Consolidation* (EuroSys 2016).
+
+Quick start::
+
+    from repro import FarmConfig, FULL_TO_PARTIAL, DayType, simulate_day
+
+    result = simulate_day(FarmConfig(), FULL_TO_PARTIAL, DayType.WEEKDAY)
+    print(f"energy savings: {result.savings_fraction:.1%}")
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the Oasis cluster manager and policies;
+* :mod:`repro.farm` — the trace-driven VDI farm simulation (§5);
+* :mod:`repro.cluster`, :mod:`repro.vm`, :mod:`repro.migration`,
+  :mod:`repro.memserver`, :mod:`repro.energy`, :mod:`repro.traces` —
+  the substrates;
+* :mod:`repro.prototype`, :mod:`repro.pagesim` — the page-level
+  prototype models behind the micro-benchmarks (§2, §4.4);
+* :mod:`repro.analysis` — CDFs/series/tables for the benches.
+"""
+
+from repro.core import (
+    ALL_POLICIES,
+    DEFAULT,
+    FULL_TO_PARTIAL,
+    NEW_HOME,
+    ONLY_PARTIAL,
+    ClusterManager,
+    PolicySpec,
+    policy_by_name,
+)
+from repro.energy import HostPowerProfile, MemoryServerProfile
+from repro.farm import FarmConfig, FarmResult, FarmSimulation, simulate_day
+from repro.traces import DayType, TraceGeneratorConfig, generate_ensemble
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_POLICIES",
+    "DEFAULT",
+    "FULL_TO_PARTIAL",
+    "NEW_HOME",
+    "ONLY_PARTIAL",
+    "ClusterManager",
+    "PolicySpec",
+    "policy_by_name",
+    "HostPowerProfile",
+    "MemoryServerProfile",
+    "FarmConfig",
+    "FarmResult",
+    "FarmSimulation",
+    "simulate_day",
+    "DayType",
+    "TraceGeneratorConfig",
+    "generate_ensemble",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Analysis helpers: CDFs, percentiles, time series, and text tables."""
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.series import bin_series, moving_average
+from repro.analysis.tables import format_table, format_percent
+from repro.analysis.ascii_chart import cdf_chart, line_chart, sparkline
+
+__all__ = [
+    "Cdf",
+    "bin_series",
+    "moving_average",
+    "format_table",
+    "format_percent",
+    "cdf_chart",
+    "line_chart",
+    "sparkline",
+]

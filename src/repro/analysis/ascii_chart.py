@@ -1,0 +1,108 @@
+"""Plain-text charts for terminals without a plotting stack.
+
+The evaluation figures are time series and CDFs; these renderers make
+them legible straight from the CLI (``python -m repro simulate
+--chart``) and in examples, with no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """A one-line unicode sparkline of a series.
+
+    Down-samples by averaging when the series is longer than ``width``.
+    """
+    if not values:
+        raise ConfigError("a sparkline needs at least one value")
+    series = list(values)
+    if width is not None:
+        if width < 1:
+            raise ConfigError("width must be positive")
+        series = _downsample(series, width)
+    low = min(series)
+    high = max(series)
+    span = high - low
+    if span <= 0.0:
+        return _BARS[1] * len(series)
+    out = []
+    for value in series:
+        index = 1 + int((value - low) / span * (len(_BARS) - 2))
+        out.append(_BARS[min(index, len(_BARS) - 1)])
+    return "".join(out)
+
+
+def line_chart(
+    values: Sequence[float],
+    width: int = 72,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """A multi-row block chart with a min/max axis annotation."""
+    if not values:
+        raise ConfigError("a chart needs at least one value")
+    if width < 1 or height < 1:
+        raise ConfigError("chart dimensions must be positive")
+    series = _downsample(list(values), width)
+    low = min(series)
+    high = max(series)
+    span = high - low or 1.0
+    # Each column fills rows bottom-up proportionally to its value.
+    levels = [
+        (value - low) / span * height for value in series
+    ]
+    rows: List[str] = []
+    for row in range(height, 0, -1):
+        line = []
+        for level in levels:
+            if level >= row:
+                line.append("█")
+            elif level >= row - 0.5:
+                line.append("▄")
+            else:
+                line.append(" ")
+        rows.append("".join(line))
+    header = f"{label}  max={high:g}" if label else f"max={high:g}"
+    footer = f"{'':{len(header) and 0}}min={low:g}"
+    return "\n".join([header] + rows + [footer])
+
+
+def cdf_chart(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    label: str = "",
+) -> str:
+    """Render CDF points (value, probability) as a horizontal bar list."""
+    if not points:
+        raise ConfigError("a CDF chart needs points")
+    lines = [label] if label else []
+    for probability in (0.25, 0.5, 0.75, 0.9, 0.99, 1.0):
+        value = _value_at(points, probability)
+        bar = "#" * max(1, int(probability * width))
+        lines.append(f"p{probability * 100:5.1f} {value:10.2f} |{bar}")
+    return "\n".join(lines)
+
+
+def _value_at(points, probability: float) -> float:
+    for value, cumulative in points:
+        if cumulative >= probability:
+            return value
+    return points[-1][0]
+
+
+def _downsample(series: List[float], width: int) -> List[float]:
+    if len(series) <= width:
+        return series
+    out = []
+    for bucket in range(width):
+        start = bucket * len(series) // width
+        end = max(start + 1, (bucket + 1) * len(series) // width)
+        chunk = series[start:end]
+        out.append(sum(chunk) / len(chunk))
+    return out

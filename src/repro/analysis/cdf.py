@@ -1,0 +1,64 @@
+"""Empirical cumulative distribution functions (Figures 9 and 11)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+
+class Cdf:
+    """An empirical CDF over a sample of real values."""
+
+    def __init__(self, samples: Sequence[float]) -> None:
+        if not samples:
+            raise ConfigError("a CDF needs at least one sample")
+        self._sorted: List[float] = sorted(samples)
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def min(self) -> float:
+        return self._sorted[0]
+
+    @property
+    def max(self) -> float:
+        return self._sorted[-1]
+
+    def probability_at_or_below(self, value: float) -> float:
+        """P(X <= value)."""
+        lo, hi = 0, len(self._sorted)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._sorted[mid] <= value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo / len(self._sorted)
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (q in [0, 100]), nearest-rank."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigError(f"percentile must be in [0, 100], got {q}")
+        if q == 0.0:
+            return self._sorted[0]
+        rank = max(1, int(round(q / 100.0 * len(self._sorted) + 0.5)) - 1)
+        return self._sorted[min(rank, len(self._sorted) - 1)]
+
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def points(self, max_points: int = 200) -> List[Tuple[float, float]]:
+        """(value, cumulative probability) pairs for plotting/printing.
+
+        Down-samples evenly to at most ``max_points`` points.
+        """
+        n = len(self._sorted)
+        step = max(1, n // max_points)
+        result = []
+        for index in range(0, n, step):
+            result.append((self._sorted[index], (index + 1) / n))
+        if result[-1][0] != self._sorted[-1]:
+            result.append((self._sorted[-1], 1.0))
+        return result

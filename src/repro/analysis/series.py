@@ -1,0 +1,45 @@
+"""Time-series utilities for figure reproduction."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+
+def moving_average(values: Sequence[float], window: int) -> List[float]:
+    """Centred moving average with shrinking edges."""
+    if window < 1:
+        raise ConfigError("window must be >= 1")
+    half = window // 2
+    result = []
+    for index in range(len(values)):
+        lo = max(0, index - half)
+        hi = min(len(values), index + half + 1)
+        result.append(sum(values[lo:hi]) / (hi - lo))
+    return result
+
+
+def bin_series(
+    times: Sequence[float],
+    values: Sequence[float],
+    bin_width: float,
+) -> List[Tuple[float, float]]:
+    """Average ``values`` into time bins of ``bin_width`` seconds.
+
+    Returns (bin start time, mean value) pairs for non-empty bins, in
+    time order.
+    """
+    if len(times) != len(values):
+        raise ConfigError("times and values must have equal length")
+    if bin_width <= 0.0:
+        raise ConfigError("bin width must be positive")
+    sums = {}
+    counts = {}
+    for time, value in zip(times, values):
+        key = int(time // bin_width)
+        sums[key] = sums.get(key, 0.0) + value
+        counts[key] = counts.get(key, 0) + 1
+    return [
+        (key * bin_width, sums[key] / counts[key]) for key in sorted(sums)
+    ]

@@ -1,0 +1,34 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_percent(fraction: float, digits: int = 1) -> str:
+    """Render a fraction as a percentage string."""
+    return f"{fraction * 100.0:.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned monospace table with a header rule."""
+    cells: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, cell in enumerate(row):
+            if column < len(widths):
+                widths[column] = max(widths[column], len(cell))
+            else:
+                widths.append(len(cell))
+    def render_row(row: Sequence[str]) -> str:
+        padded = [
+            cell.ljust(widths[column]) for column, cell in enumerate(row)
+        ]
+        return "  ".join(padded).rstrip()
+
+    lines = [render_row(list(headers))]
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)

@@ -1,0 +1,261 @@
+"""Command-line interface: ``oasis-sim`` / ``python -m repro``.
+
+Subcommands:
+
+* ``simulate`` — run one trace-driven day and print the summary;
+* ``micro``    — print a micro-benchmark table (table1, fig1, fig2,
+  fig5, fig6, traffic);
+* ``traces``   — generate or summarize trace CSV files.
+
+The full evaluation sweeps live in ``benchmarks/`` (one per paper table
+or figure); the CLI covers interactive exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.analysis import Cdf, format_percent, format_table
+from repro.core import policy_by_name, ALL_POLICIES
+from repro.farm import FarmConfig, simulate_day
+from repro.traces import (
+    DayType,
+    compute_ensemble_stats,
+    generate_ensemble,
+    read_traces_csv,
+    write_traces_csv,
+)
+from repro.traces.sampler import TraceEnsemble
+
+
+def _day_type(value: str) -> DayType:
+    return DayType(value.lower())
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = FarmConfig(
+        home_hosts=args.home_hosts,
+        consolidation_hosts=args.consolidation_hosts,
+        vms_per_host=args.vms_per_host,
+    )
+    policy = policy_by_name(args.policy)
+    if args.week:
+        from repro.farm import simulate_week
+
+        week = simulate_week(config, policy, seed=args.seed)
+        print(f"policy:           {policy.name} (calendar week)")
+        print(f"weekly savings:   {format_percent(week.savings_fraction)}")
+        print(f"energy saved:     {week.saved_kwh:.1f} kWh "
+              f"(~{week.projected_annual_kwh():.0f} kWh/year)")
+        for label, results in (
+            ("weekday", week.weekday_results),
+            ("weekend", week.weekend_results),
+        ):
+            mean = sum(r.savings_fraction for r in results) / len(results)
+            print(f"  {label} days:   {format_percent(mean)} mean savings "
+                  f"over {len(results)} days")
+        return 0
+    result = simulate_day(config, policy, _day_type(args.day), seed=args.seed)
+    print(f"policy:           {result.policy_name} ({result.day_type})")
+    print(f"energy savings:   {format_percent(result.savings_fraction)}")
+    print(f"baseline:         {result.energy.baseline_wh:.0f} Wh")
+    print(f"managed:          {result.energy.managed_wh:.0f} Wh")
+    print(
+        f"home-host sleep:  "
+        f"{format_percent(result.mean_home_sleep_fraction())} of the day"
+    )
+    print(f"peak active VMs:  {result.peak_active_vms}")
+    print(f"min powered:      {result.min_powered_hosts} hosts")
+    print(
+        f"transitions:      {len(result.delays)} "
+        f"({format_percent(result.zero_delay_fraction())} zero-delay)"
+    )
+    delays = result.delay_values()
+    if delays:
+        cdf = Cdf(delays)
+        print(
+            f"delay p50/p99:    {cdf.median():.1f} s / "
+            f"{cdf.percentile(99):.1f} s"
+        )
+    print(f"network traffic:  {result.traffic.network_total_mib():,.0f} MiB")
+    print(f"migrations:       {result.counters}")
+    if args.chart:
+        from repro.analysis import sparkline
+
+        print()
+        print("active VMs   ", sparkline(result.active_vms, width=72))
+        print("powered hosts", sparkline(
+            [float(count) for count in result.powered_hosts], width=72
+        ))
+        print("              00:00" + " " * 28 + "12:00" + " " * 29 + "24:00")
+    return 0
+
+
+def _cmd_micro(args: argparse.Namespace) -> int:
+    name = args.table
+    if name == "table1":
+        from repro.prototype import measure_energy_profiles
+
+        rows = [
+            (r.device, r.state,
+             f"{r.time_s:.1f}" if r.time_s else "N/A", f"{r.power_w:.1f}")
+            for r in measure_energy_profiles()
+        ]
+        print(format_table(["Device", "State", "Time (s)", "Power (W)"], rows))
+    elif name == "fig1":
+        from repro.pagesim import (
+            DESKTOP_PROFILE, WEB_PROFILE, DATABASE_PROFILE,
+        )
+
+        rows = []
+        for minutes in (5, 15, 30, 45, 60):
+            t = minutes * 60.0
+            rows.append(
+                (minutes,) + tuple(
+                    f"{p.unique_mib(t):.1f}"
+                    for p in (DESKTOP_PROFILE, WEB_PROFILE, DATABASE_PROFILE)
+                )
+            )
+        print(format_table(
+            ["Idle minutes", "Desktop MiB", "Web MiB", "Database MiB"], rows
+        ))
+    elif name == "fig2":
+        from repro.pagesim import (
+            DATABASE_PROFILE, WEB_PROFILE, IdleAccessModel,
+            analyze_sleep, merge_request_streams,
+        )
+
+        rng = random.Random(args.seed)
+        horizon = 6 * 3600.0
+        single = IdleAccessModel(DATABASE_PROFILE, rng).request_times(horizon)
+        many = merge_request_streams(
+            [IdleAccessModel(DATABASE_PROFILE, rng).request_times(horizon)
+             for _ in range(5)]
+            + [IdleAccessModel(WEB_PROFILE, rng).request_times(horizon)
+               for _ in range(5)]
+        )
+        print("1 VM :", analyze_sleep(single, horizon))
+        print("10 VM:", analyze_sleep(many, horizon))
+    elif name in ("fig5", "traffic"):
+        from repro.prototype import ConsolidationMicrobench
+
+        report = ConsolidationMicrobench().run()
+        if name == "fig5":
+            rows = [(label, f"{value:.1f}")
+                    for label, value in report.rows().items()]
+            print(format_table(["Operation", "Latency (s)"], rows))
+        else:
+            rows = [
+                ("full migration", f"{report.full_migration_traffic_mib:.0f}"),
+                ("partial descriptor", f"{report.descriptor_mib:.1f}"),
+                ("on-demand pages", f"{report.on_demand_mib:.1f}"),
+                ("reintegration dirty", f"{report.reintegration_mib:.1f}"),
+            ]
+            print(format_table(["Transfer", "Volume (MiB)"], rows))
+    elif name == "fig6":
+        from repro.prototype import startup_latency_table
+        from repro.prototype.apps import prefetch_alternative_s
+
+        rows = [
+            (entry.application, f"{entry.full_vm_s:.1f}",
+             f"{entry.partial_vm_s:.1f}", f"{entry.slowdown:.0f}x")
+            for entry in startup_latency_table().values()
+        ]
+        print(format_table(
+            ["Application", "Full VM (s)", "Partial VM (s)", "Slowdown"], rows
+        ))
+        print(f"\npre-fetching the whole VM instead: "
+              f"{prefetch_alternative_s():.1f} s")
+    else:
+        print(f"unknown micro table {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    from repro.traces import read_traces_json, write_traces_json
+
+    if args.action == "generate":
+        ensemble = generate_ensemble(
+            args.count, _day_type(args.day), seed=args.seed
+        )
+        writer = (
+            write_traces_json if args.out.endswith(".json")
+            else write_traces_csv
+        )
+        writer(args.out, list(ensemble))
+        print(f"wrote {len(ensemble)} user-days to {args.out}")
+    else:
+        reader = (
+            read_traces_json if args.file.endswith(".json")
+            else read_traces_csv
+        )
+        traces = reader(args.file)
+        ensemble = TraceEnsemble(traces[0].day_type, tuple(traces))
+        print(compute_ensemble_stats(ensemble))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="oasis-sim",
+        description="Oasis (EuroSys 2016) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run one trace-driven day")
+    simulate.add_argument(
+        "--policy", default="FulltoPartial",
+        choices=[p.name for p in ALL_POLICIES],
+    )
+    simulate.add_argument(
+        "--day", default="weekday", choices=["weekday", "weekend"]
+    )
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--week", action="store_true",
+        help="simulate a calendar week (5 weekdays + 2 weekend days)",
+    )
+    simulate.add_argument(
+        "--chart", action="store_true",
+        help="render Figure 7-style sparklines of the day",
+    )
+    simulate.add_argument("--home-hosts", type=int, default=30)
+    simulate.add_argument("--consolidation-hosts", type=int, default=4)
+    simulate.add_argument("--vms-per-host", type=int, default=30)
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    micro = sub.add_parser("micro", help="print a micro-benchmark table")
+    micro.add_argument(
+        "table",
+        choices=["table1", "fig1", "fig2", "fig5", "fig6", "traffic"],
+    )
+    micro.add_argument("--seed", type=int, default=0)
+    micro.set_defaults(handler=_cmd_micro)
+
+    traces = sub.add_parser("traces", help="generate or inspect trace files")
+    traces_sub = traces.add_subparsers(dest="action", required=True)
+    generate = traces_sub.add_parser("generate")
+    generate.add_argument("--count", type=int, default=900)
+    generate.add_argument("--day", default="weekday",
+                          choices=["weekday", "weekend"])
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(handler=_cmd_traces)
+    stats = traces_sub.add_parser("stats")
+    stats.add_argument("--file", required=True)
+    stats.set_defaults(handler=_cmd_traces)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""Cluster substrate: hosts, power states, and rack topology.
+
+An Oasis cluster (Figure 3) consists of *compute hosts* — every VM's
+original home — and *consolidation hosts* that receive migrated VMs.
+Hosts move between powered, suspending, sleeping, and resuming states;
+a sleeping compute host keeps serving page requests through its
+low-power memory server.
+"""
+
+from repro.cluster.power import PowerState
+from repro.cluster.host import Host, HostRole
+from repro.cluster.topology import Cluster
+
+__all__ = ["PowerState", "Host", "HostRole", "Cluster"]

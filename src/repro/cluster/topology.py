@@ -1,0 +1,132 @@
+"""Cluster topology: the rack of home and consolidation hosts (§5.1).
+
+The evaluation simulates a standard 42U rack behind a top-of-rack
+10 GigE switch: 30 hosts designated as homes (each assigned 30 VMs) and
+a varied number of consolidation hosts.  Every host has the same
+hardware; only the role differs, and only compute hosts ever power
+their memory servers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.cluster.host import Host, HostRole
+from repro.errors import ConfigError
+from repro.vm.state import Residency
+
+
+class Cluster:
+    """A rack of identical hosts split into home and consolidation roles.
+
+    Host ids are assigned densely: homes first (``0 .. home_hosts-1``),
+    then consolidation hosts.
+    """
+
+    def __init__(
+        self,
+        home_hosts: int,
+        consolidation_hosts: int,
+        host_capacity_mib: float,
+    ) -> None:
+        if home_hosts <= 0:
+            raise ConfigError("need at least one home host")
+        if consolidation_hosts <= 0:
+            raise ConfigError("need at least one consolidation host")
+        self._hosts: Dict[int, Host] = {}
+        next_id = 0
+        for _ in range(home_hosts):
+            self._hosts[next_id] = Host(
+                next_id, HostRole.COMPUTE, host_capacity_mib,
+                memory_server_enabled=True,
+            )
+            next_id += 1
+        for _ in range(consolidation_hosts):
+            self._hosts[next_id] = Host(
+                next_id, HostRole.CONSOLIDATION, host_capacity_mib,
+                memory_server_enabled=False,
+            )
+            next_id += 1
+        self.home_host_count = home_hosts
+        self.consolidation_host_count = consolidation_hosts
+
+    # -- lookup -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    def __iter__(self) -> Iterator[Host]:
+        return iter(self._hosts.values())
+
+    def host(self, host_id: int) -> Host:
+        try:
+            return self._hosts[host_id]
+        except KeyError:
+            raise ConfigError(f"no host with id {host_id}")
+
+    @property
+    def hosts(self) -> List[Host]:
+        return list(self._hosts.values())
+
+    @property
+    def home_hosts(self) -> List[Host]:
+        return [h for h in self._hosts.values() if h.role is HostRole.COMPUTE]
+
+    @property
+    def consolidation_hosts(self) -> List[Host]:
+        return [
+            h for h in self._hosts.values()
+            if h.role is HostRole.CONSOLIDATION
+        ]
+
+    # -- aggregate queries ---------------------------------------------------
+
+    def powered_host_count(self) -> int:
+        """Hosts currently fully powered (Figure 7's y-axis)."""
+        return sum(1 for host in self._hosts.values() if host.is_powered)
+
+    def powered_home_count(self) -> int:
+        return sum(1 for host in self.home_hosts if host.is_powered)
+
+    def powered_consolidation_count(self) -> int:
+        return sum(1 for host in self.consolidation_hosts if host.is_powered)
+
+    def total_running_vms(self) -> int:
+        return sum(host.vm_count for host in self._hosts.values())
+
+    def check_invariants(self) -> None:
+        """Verify incremental memory accounting against recomputation.
+
+        Called by tests after simulation steps; raises ``AssertionError``
+        on drift.
+        """
+        for host in self._hosts.values():
+            recomputed = host.recompute_used_mib()
+            drift = abs(recomputed - host.used_mib)
+            assert drift < 1e-6 * max(1.0, recomputed) + 1e-6, (
+                f"host {host.host_id}: accounted {host.used_mib:.6f} MiB, "
+                f"recomputed {recomputed:.6f} MiB"
+            )
+            full = sum(
+                1 for vm in host.vms() if vm.residency is Residency.FULL
+            )
+            assert full == host.full_vm_count, (
+                f"host {host.host_id}: accounted {host.full_vm_count} full "
+                f"VMs, recomputed {full}"
+            )
+            fraction = sum(
+                vm.resident_fraction
+                for vm in host.vms()
+                if vm.residency is Residency.PARTIAL
+            )
+            assert abs(fraction - host.partial_resident_fraction) < 1e-6, (
+                f"host {host.host_id}: partial fraction drifted "
+                f"({host.partial_resident_fraction:.9f} vs {fraction:.9f})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Cluster {self.home_host_count}+{self.consolidation_host_count} "
+            f"hosts, {self.total_running_vms()} VMs, "
+            f"{self.powered_host_count()} powered>"
+        )

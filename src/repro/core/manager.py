@@ -1,0 +1,150 @@
+"""The cluster manager's decision logic (§3.1-3.2, §4.1).
+
+The :class:`ClusterManager` is deliberately free of timing concerns: it
+inspects cluster state and emits *decisions* (plans).  The execution
+engine — :mod:`repro.farm` for trace-driven days, or a real agent layer
+in a deployment — owns clocks, latencies, and energy.  This split keeps
+every policy decision unit-testable against hand-built cluster states.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.cluster.topology import Cluster
+from repro.core.placement import DestinationStrategy, GreedyVacatePlanner
+from repro.core.plan import (
+    ActivationAction,
+    ActivationDecision,
+    ConsolidationPlan,
+    ExchangePlan,
+)
+from repro.core.policies import PolicySpec
+from repro.errors import MigrationError
+from repro.vm.machine import VirtualMachine
+from repro.vm.state import Residency
+from repro.vm.workingset import WorkingSetSampler
+
+
+class ClusterManager:
+    """Makes consolidation, exchange, and activation decisions."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        policy: PolicySpec,
+        working_sets: Optional[WorkingSetSampler] = None,
+        rng: Optional[random.Random] = None,
+        min_idle_intervals: int = 1,
+        strategy: DestinationStrategy = DestinationStrategy.RANDOM,
+    ) -> None:
+        self.cluster = cluster
+        self.policy = policy
+        self.working_sets = (
+            working_sets if working_sets is not None else WorkingSetSampler()
+        )
+        self.rng = rng if rng is not None else random.Random(0)
+        self.min_idle_intervals = min_idle_intervals
+        self.planner = GreedyVacatePlanner(
+            policy=policy,
+            working_sets=self.working_sets,
+            rng=self.rng,
+            min_idle_intervals=min_idle_intervals,
+            strategy=strategy,
+        )
+
+    # -- periodic planning ------------------------------------------------
+
+    def plan_consolidation(
+        self, compact_consolidation: bool = True
+    ) -> ConsolidationPlan:
+        """Search for a placement that powers down more hosts (§3.1).
+
+        Returns an empty plan when no host can be powered down — the
+        manager only migrates when doing so can save energy.
+        """
+        return self.planner.plan(
+            self.cluster, compact_consolidation=compact_consolidation
+        )
+
+    def plan_exchanges(self) -> List[ExchangePlan]:
+        """Find FulltoPartial exchanges: consolidated full VMs that have
+        turned idle and should be swapped for partial VMs (§3.2).
+
+        Empty under policies without the exchange refinement.
+        """
+        if not self.policy.exchange_idle_full:
+            return []
+        exchanges: List[ExchangePlan] = []
+        for host in self.cluster.consolidation_hosts:
+            if not host.is_powered:
+                continue
+            for vm in host.vms():
+                if vm.residency is not Residency.FULL or vm.is_active:
+                    continue
+                if vm.idle_intervals < self.min_idle_intervals:
+                    continue
+                working_set = min(
+                    self.working_sets.sample(self.rng), vm.memory_mib
+                )
+                exchanges.append(
+                    ExchangePlan(
+                        vm_id=vm.vm_id,
+                        consolidation_host_id=host.host_id,
+                        origin_home_id=vm.origin_home_id,
+                        working_set_mib=working_set,
+                    )
+                )
+        return exchanges
+
+    # -- activation handling ------------------------------------------------
+
+    def decide_activation(self, vm: VirtualMachine) -> ActivationDecision:
+        """Choose the response to an idle-to-active transition (§3.2).
+
+        Active VMs must hold their full memory image to perform well
+        (Figure 6), so a partial VM must become full somewhere: in place
+        if its consolidation host has room, on a new powered home under
+        NewHome, and otherwise by waking its home host — which then takes
+        back *all* of its VMs, since a woken host makes its partial
+        replicas pure overhead.
+        """
+        if vm.residency is Residency.FULL:
+            return ActivationDecision(
+                vm.vm_id, ActivationAction.ALREADY_FULL, vm.host_id
+            )
+
+        host = self.cluster.host(vm.host_id)
+        if vm.working_set_mib is None:
+            raise MigrationError(f"partial VM {vm.vm_id} lacks a working set")
+        remaining_mib = vm.memory_mib - vm.working_set_mib
+
+        if self.policy.convert_in_place and host.can_fit(remaining_mib):
+            return ActivationDecision(
+                vm.vm_id, ActivationAction.CONVERT_IN_PLACE, host.host_id
+            )
+
+        if self.policy.rehome_on_exhaustion:
+            destination = self._find_new_home(vm)
+            if destination is not None:
+                return ActivationDecision(
+                    vm.vm_id, ActivationAction.MIGRATE_NEW_HOME, destination
+                )
+
+        return ActivationDecision(
+            vm.vm_id, ActivationAction.WAKE_HOME_RETURN_ALL, vm.home_id
+        )
+
+    def _find_new_home(self, vm: VirtualMachine) -> Optional[int]:
+        """A powered host (compute or consolidation) that fits the full VM."""
+        candidates = [
+            host.host_id
+            for host in self.cluster
+            if host.is_powered
+            and host.host_id != vm.host_id
+            and host.can_fit(vm.memory_mib)
+        ]
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)

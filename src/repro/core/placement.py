@@ -1,0 +1,305 @@
+"""Greedy vacate planning (§3.1, "Where to migrate").
+
+The paper's placement heuristic: sort compute hosts by total VM memory
+demand ascending (cheapest to vacate first), and vacate as many whole
+hosts as possible.  Each migrating VM's destination is drawn at random
+from the consolidation hosts with enough free memory.  We prefer
+already-powered consolidation hosts and only wake sleeping ones when the
+powered set cannot fit a VM — consolidation hosts sleep by default and
+"are awakened only to accommodate incoming VMs" (§3.1), so waking one
+for a VM that fits elsewhere would burn energy for nothing.
+
+The planner works on a *shadow* free-memory map so one planning pass
+never over-commits a destination, and it supports first-fit/best-fit
+strategies for the placement ablation bench.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Dict, List, Optional
+
+from repro.cluster.host import Host
+from repro.cluster.topology import Cluster
+from repro.core.plan import (
+    ConsolidationPlan,
+    HostVacatePlan,
+    MigrationMode,
+    PlannedMigration,
+)
+from repro.core.policies import PolicySpec
+from repro.errors import ConfigError
+from repro.vm.machine import VirtualMachine
+from repro.vm.state import Residency
+from repro.vm.workingset import WorkingSetSampler
+
+
+class DestinationStrategy(enum.Enum):
+    """How to pick among feasible destinations (paper: RANDOM)."""
+
+    RANDOM = "random"
+    FIRST_FIT = "first_fit"
+    BEST_FIT = "best_fit"
+    WORST_FIT = "worst_fit"
+
+
+class _ShadowCapacity:
+    """Free memory per consolidation host as the plan takes shape."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.free: Dict[int, float] = {}
+        self.capacity: Dict[int, float] = {}
+        self.powered: Dict[int, bool] = {}
+        for host in cluster.consolidation_hosts:
+            self.free[host.host_id] = host.free_mib
+            self.capacity[host.host_id] = host.capacity_mib
+            self.powered[host.host_id] = host.is_powered
+        self.woken: set = set()
+
+    def candidates(
+        self, size_mib: float, powered_only: bool, headroom_fraction: float = 0.0
+    ) -> List[int]:
+        """Hosts that can take ``size_mib`` while keeping at least
+        ``headroom_fraction`` of their capacity free afterwards."""
+        result = []
+        for host_id, free in self.free.items():
+            reserve = headroom_fraction * self.capacity[host_id]
+            if free + 1e-9 < size_mib + reserve:
+                continue
+            is_powered = self.powered[host_id] or host_id in self.woken
+            if powered_only == is_powered:
+                result.append(host_id)
+        return result
+
+    def place(self, host_id: int, size_mib: float) -> None:
+        self.free[host_id] -= size_mib
+        if not self.powered[host_id]:
+            self.woken.add(host_id)
+
+    def unplace(self, host_id: int, size_mib: float) -> None:
+        self.free[host_id] += size_mib
+
+
+class GreedyVacatePlanner:
+    """Builds :class:`ConsolidationPlan` objects from cluster state."""
+
+    def __init__(
+        self,
+        policy: PolicySpec,
+        working_sets: WorkingSetSampler,
+        rng: random.Random,
+        min_idle_intervals: int = 1,
+        strategy: DestinationStrategy = DestinationStrategy.RANDOM,
+    ) -> None:
+        if min_idle_intervals < 1:
+            raise ConfigError("min_idle_intervals must be >= 1")
+        self.policy = policy
+        self.working_sets = working_sets
+        self.rng = rng
+        self.min_idle_intervals = min_idle_intervals
+        self.strategy = strategy
+
+    # -- public API -----------------------------------------------------
+
+    def plan(
+        self, cluster: Cluster, compact_consolidation: bool = True
+    ) -> ConsolidationPlan:
+        """Plan this interval's vacations.
+
+        Only fully-vacatable powered compute hosts are planned: hosts
+        with VMs that cannot move (active VMs under OnlyPartial, or VMs
+        that do not fit anywhere) stay as they are.  When
+        ``compact_consolidation`` is set, lightly-loaded powered
+        consolidation hosts are additionally emptied into their peers so
+        they can sleep too.
+        """
+        shadow = _ShadowCapacity(cluster)
+        queue = self._vacate_queue(cluster)
+        vacations: List[HostVacatePlan] = []
+        for host in queue:
+            migrations = self._try_vacate(host, shadow)
+            if migrations is not None:
+                vacations.append(HostVacatePlan(host.host_id, migrations))
+        compactions: List[HostVacatePlan] = []
+        if compact_consolidation:
+            compactions = self._plan_compaction(cluster, shadow)
+        return ConsolidationPlan(
+            vacations=vacations,
+            hosts_to_wake=set(shadow.woken),
+            compactions=compactions,
+        )
+
+    #: Only consolidation hosts below this utilization are worth
+    #: emptying; draining a well-used host just shifts load around.
+    COMPACTION_LOW_WATER = 0.30
+    #: Keep this much of each destination's capacity free so activating
+    #: partial VMs can still convert to full in place — packing tight
+    #: would trade one powered host for a storm of home wake-ups.
+    COMPACTION_HEADROOM = 0.20
+
+    def _plan_compaction(
+        self, cluster: Cluster, shadow: _ShadowCapacity
+    ) -> List[HostVacatePlan]:
+        """Empty lightly-loaded powered consolidation hosts into peers.
+
+        Destinations are restricted to consolidation hosts that are
+        already powered (waking a host to let another sleep is a wash at
+        best) and that are not themselves being compacted away.
+        """
+        candidates = sorted(
+            (
+                host
+                for host in cluster.consolidation_hosts
+                if host.is_powered
+                and host.vm_count > 0
+                and host.used_mib
+                < self.COMPACTION_LOW_WATER * host.capacity_mib
+            ),
+            key=lambda host: host.used_mib,
+        )
+        compactions: List[HostVacatePlan] = []
+        emptied: set = set()
+        for host in candidates:
+            migrations: List[PlannedMigration] = []
+            placed: List = []
+            feasible = True
+            for vm in host.vms():
+                size = vm.resident_mib
+                choices = [
+                    other_id
+                    for other_id in shadow.candidates(
+                        size,
+                        powered_only=True,
+                        headroom_fraction=self.COMPACTION_HEADROOM,
+                    )
+                    if other_id != host.host_id and other_id not in emptied
+                    and other_id not in shadow.woken
+                ]
+                if not choices:
+                    feasible = False
+                    break
+                destination = self._choose(choices, shadow)
+                shadow.place(destination, size)
+                placed.append((destination, size))
+                mode = (
+                    MigrationMode.PARTIAL
+                    if vm.residency is Residency.PARTIAL
+                    else MigrationMode.FULL
+                )
+                migrations.append(
+                    PlannedMigration(
+                        vm_id=vm.vm_id,
+                        source_id=host.host_id,
+                        destination_id=destination,
+                        mode=mode,
+                        working_set_mib=(
+                            vm.working_set_mib
+                            if mode is MigrationMode.PARTIAL
+                            else None
+                        ),
+                    )
+                )
+            if feasible and migrations:
+                compactions.append(
+                    HostVacatePlan(host.host_id, migrations)
+                )
+                emptied.add(host.host_id)
+                # The emptied host is no longer a destination.
+                shadow.free[host.host_id] = -1.0
+            else:
+                for destination, size in placed:
+                    shadow.unplace(destination, size)
+        return compactions
+
+    # -- internals --------------------------------------------------------
+
+    def _vacate_queue(self, cluster: Cluster) -> List[Host]:
+        """Powered compute hosts with VMs, cheapest memory demand first."""
+        candidates = [
+            host
+            for host in cluster.home_hosts
+            if host.is_powered and host.vm_count > 0
+        ]
+        return sorted(candidates, key=self._memory_demand)
+
+    def _memory_demand(self, host: Host) -> float:
+        """Memory that vacating this host would move to consolidation
+        hosts: full allocations for active VMs, expected working sets for
+        idle ones.  This is both the sort key (the paper's "total VM
+        memory demand / migration cost") and a proxy for transfer cost."""
+        expected_ws = self.working_sets.expected_mib()
+        demand = 0.0
+        for vm in host.vms():
+            if vm.is_active:
+                demand += vm.memory_mib
+            else:
+                demand += min(expected_ws, vm.memory_mib)
+        return demand
+
+    def _try_vacate(
+        self, host: Host, shadow: _ShadowCapacity
+    ) -> Optional[List[PlannedMigration]]:
+        """Plan all of one host's VMs, or None if any VM cannot move."""
+        migrations: List[PlannedMigration] = []
+        placed: List = []  # (host_id, size) for rollback
+        for vm in host.vms():
+            planned = self._plan_vm(vm, host.host_id, shadow)
+            if planned is None:
+                for dest_id, size in placed:
+                    shadow.unplace(dest_id, size)
+                return None
+            migrations.append(planned)
+            size = (
+                planned.working_set_mib
+                if planned.mode is MigrationMode.PARTIAL
+                else vm.memory_mib
+            )
+            placed.append((planned.destination_id, size))
+        return migrations
+
+    def _plan_vm(
+        self, vm: VirtualMachine, source_id: int, shadow: _ShadowCapacity
+    ) -> Optional[PlannedMigration]:
+        if vm.is_active:
+            if not self.policy.full_migrate_active:
+                return None
+            size = vm.memory_mib
+            mode = MigrationMode.FULL
+            working_set = None
+        else:
+            if vm.idle_intervals < self.min_idle_intervals:
+                return None
+            working_set = self.working_sets.sample(self.rng)
+            working_set = min(working_set, vm.memory_mib)
+            size = working_set
+            mode = MigrationMode.PARTIAL
+        destination = self._pick_destination(size, shadow)
+        if destination is None:
+            return None
+        shadow.place(destination, size)
+        return PlannedMigration(
+            vm_id=vm.vm_id,
+            source_id=source_id,
+            destination_id=destination,
+            mode=mode,
+            working_set_mib=working_set,
+        )
+
+    def _pick_destination(
+        self, size_mib: float, shadow: _ShadowCapacity
+    ) -> Optional[int]:
+        for powered_only in (True, False):
+            candidates = shadow.candidates(size_mib, powered_only)
+            if candidates:
+                return self._choose(candidates, shadow)
+        return None
+
+    def _choose(self, candidates: List[int], shadow: _ShadowCapacity) -> int:
+        if self.strategy is DestinationStrategy.RANDOM:
+            return self.rng.choice(candidates)
+        if self.strategy is DestinationStrategy.FIRST_FIT:
+            return min(candidates)
+        if self.strategy is DestinationStrategy.BEST_FIT:
+            return min(candidates, key=lambda host_id: shadow.free[host_id])
+        return max(candidates, key=lambda host_id: shadow.free[host_id])

@@ -1,0 +1,106 @@
+"""Consolidation policy specifications (§3.2).
+
+The four policies evaluated by the paper differ along three axes, so a
+policy here is a small immutable specification rather than a class
+hierarchy:
+
+* may active VMs be migrated in full? (``OnlyPartial``: no — it is the
+  pure partial-migration baseline);
+* may an activating partial VM be converted to a full VM in place when
+  the consolidation host has room? (``OnlyPartial``: no — it always
+  returns home, as Jettison did for desktops);
+* are consolidated full VMs that turn idle exchanged for partial ones?
+  (``FulltoPartial`` and ``NewHome``: yes);
+* on capacity exhaustion, is any other powered host tried before waking
+  the VM's home? (``NewHome``: yes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One consolidation policy as a set of behavioural switches."""
+
+    name: str
+    #: Vacating a home may live-migrate its active VMs to consolidation
+    #: hosts.  False makes the policy partial-migration-only.
+    full_migrate_active: bool
+    #: An activating partial VM converts to full in place when the
+    #: consolidation host has capacity (otherwise it must return home).
+    convert_in_place: bool
+    #: Consolidated full VMs that become idle are pushed back to their
+    #: home and immediately re-consolidated as partial VMs.
+    exchange_idle_full: bool
+    #: On capacity exhaustion, try any powered host as a new home before
+    #: waking the VM's home host.
+    rehome_on_exhaustion: bool
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("policy needs a name")
+        if self.exchange_idle_full and not self.full_migrate_active:
+            raise ConfigError(
+                "exchange_idle_full requires full migrations "
+                "(there are no consolidated full VMs without them)"
+            )
+
+
+ONLY_PARTIAL = PolicySpec(
+    name="OnlyPartial",
+    full_migrate_active=False,
+    convert_in_place=False,
+    exchange_idle_full=False,
+    rehome_on_exhaustion=False,
+)
+
+DEFAULT = PolicySpec(
+    name="Default",
+    full_migrate_active=True,
+    convert_in_place=True,
+    exchange_idle_full=False,
+    rehome_on_exhaustion=False,
+)
+
+FULL_TO_PARTIAL = PolicySpec(
+    name="FulltoPartial",
+    full_migrate_active=True,
+    convert_in_place=True,
+    exchange_idle_full=True,
+    rehome_on_exhaustion=False,
+)
+
+NEW_HOME = PolicySpec(
+    name="NewHome",
+    full_migrate_active=True,
+    convert_in_place=True,
+    exchange_idle_full=True,
+    rehome_on_exhaustion=True,
+)
+
+ALL_POLICIES: Tuple[PolicySpec, ...] = (
+    ONLY_PARTIAL,
+    DEFAULT,
+    FULL_TO_PARTIAL,
+    NEW_HOME,
+)
+
+_BY_NAME: Dict[str, PolicySpec] = {
+    policy.name.lower(): policy for policy in ALL_POLICIES
+}
+
+
+def policy_by_name(name: str) -> PolicySpec:
+    """Look up one of the paper's policies case-insensitively."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown policy {name!r}; choose from "
+            f"{[policy.name for policy in ALL_POLICIES]}"
+        )

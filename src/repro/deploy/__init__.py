@@ -1,0 +1,47 @@
+"""The control plane of the paper's prototype (§4.1-4.2).
+
+Where :mod:`repro.farm` executes policy decisions directly for speed,
+this package reproduces the *architecture* of the prototype: a cluster
+manager daemon that talks to per-host agents over an RPC bus, clients
+that create VMs from configuration files, periodic statistics reports,
+``<vmid, migration type, destination>`` migration orders, suspend
+orders, and Wake-on-LAN — all running on the discrete-event kernel with
+modeled message latency.
+
+Typical use (see ``examples/control_plane.py``)::
+
+    deployment = Deployment(hosts=3, consolidation_hosts=1)
+    vmid = deployment.client.create_vm(VmConfigFile(...))
+    deployment.run_for(3600.0)
+"""
+
+from repro.deploy.messages import (
+    CreateVmCall,
+    MigrationOrder,
+    MigrationType,
+    StatsReport,
+    SuspendOrder,
+    VmStats,
+    WakeOnLan,
+)
+from repro.deploy.vmconfig import VmConfigFile
+from repro.deploy.bus import MessageBus, Endpoint
+from repro.deploy.agent import HostAgent
+from repro.deploy.manager import ClusterManagerDaemon
+from repro.deploy.deployment import Deployment
+
+__all__ = [
+    "CreateVmCall",
+    "MigrationOrder",
+    "MigrationType",
+    "StatsReport",
+    "SuspendOrder",
+    "VmStats",
+    "WakeOnLan",
+    "VmConfigFile",
+    "MessageBus",
+    "Endpoint",
+    "HostAgent",
+    "ClusterManagerDaemon",
+    "Deployment",
+]

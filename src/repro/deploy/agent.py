@@ -1,0 +1,428 @@
+"""The host agent (§4.2).
+
+A user-level process on each host's administrative domain that performs
+host power management (ACPI), host-to-host VM migration, and statistics
+collection.  Here it is an endpoint on the control-plane bus that owns
+one :class:`~repro.cluster.host.Host`:
+
+* ``CreateVmOrder`` — start a VM from a parsed configuration;
+* ``MigrationOrder`` — partial- or full-migrate one of its VMs: the
+  agent suspends the VM, uploads memory to its memory server (partial)
+  or streams the image (full), and pushes a descriptor to the
+  destination agent, which instantiates the VM and acknowledges;
+* ``ReintegrationOrder`` — push a partial VM's dirty state back to its
+  owner (§4.2 "VM reintegration");
+* ``SuspendOrder`` — suspend the host once in-flight work completes;
+* Wake-on-LAN arrives at the host's NIC endpoint and resumes it.
+
+Timing uses the same :class:`MigrationCostModel` constants as the farm
+engine; messages carry the latency of the operation they conclude, so
+the protocol's causality is visible on the bus log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.host import Host
+from repro.deploy.bus import MessageBus
+from repro.deploy.messages import (
+    Ack,
+    MigrationOrder,
+    MigrationType,
+    Nack,
+    StatsReport,
+    SuspendOrder,
+    VmStats,
+    WakeOnLan,
+)
+from repro.deploy.vmconfig import VmConfigFile
+from repro.errors import CapacityError, MigrationError
+from repro.migration.costs import MigrationCostModel
+from repro.simulator.engine import Simulator
+from repro.vm.machine import VirtualMachine
+from repro.vm.state import Residency, VmActivity
+
+
+@dataclass(frozen=True)
+class CreateVmOrder:
+    """Manager -> agent: start a VM from this configuration (§4.1)."""
+
+    config: VmConfigFile
+
+
+@dataclass(frozen=True)
+class VmDescriptorPush:
+    """Source agent -> destination agent: instantiate a migrated VM.
+
+    Carries the live VM object (standing in for page tables, execution
+    context, and configuration) plus how it should land.  For the
+    second leg of a FulltoPartial exchange, ``repartialize_to`` asks the
+    receiving (home) agent to immediately partial-migrate the VM back
+    to the sender with the given working set (§3.2).
+    """
+
+    vm: VirtualMachine
+    migration_type: MigrationType
+    working_set_mib: Optional[float] = None
+    repartialize_to: Optional[int] = None
+    repartialize_ws_mib: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ExchangeOrder:
+    """Manager -> consolidation agent: swap an idle full VM for a
+    partial one (§3.2 FulltoPartial): push it home in full; the home
+    agent sends it straight back as a partial VM."""
+
+    vmid: int
+    origin_home: int
+    working_set_mib: float
+
+
+@dataclass(frozen=True)
+class ConvertInPlaceOrder:
+    """Manager -> agent: convert an activating partial VM to a full VM
+    where it runs (§3.2): memtap pulls the remaining image from the old
+    home's memory server, and this host becomes the new home."""
+
+    vmid: int
+
+
+@dataclass(frozen=True)
+class ImageReleaseNotice:
+    """New owner -> old home agent: the full image has been pulled;
+    release the memory-server copy (§4.2: "frees all resources
+    previously allocated to the VM, including any memory state uploaded
+    to the memory server")."""
+
+    vmid: int
+
+
+@dataclass(frozen=True)
+class ReintegrationOrder:
+    """Manager -> agent hosting partial VMs: push them back home."""
+
+    vmids: tuple
+
+
+@dataclass(frozen=True)
+class VmStateChangeNotice:
+    """Agent -> manager: a local VM crossed the idle/active boundary."""
+
+    host_id: int
+    vmid: int
+    active: bool
+
+
+def agent_name(host_id: int) -> str:
+    return f"agent-{host_id}"
+
+
+def nic_name(host_id: int) -> str:
+    return f"nic-{host_id}"
+
+
+class HostAgent:
+    """One host's agent process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus: MessageBus,
+        host: Host,
+        manager_name: str = "manager",
+        costs: Optional[MigrationCostModel] = None,
+        stats_interval_s: float = 60.0,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.manager_name = manager_name
+        self.costs = costs if costs is not None else MigrationCostModel()
+        self.stats_interval_s = stats_interval_s
+        self.endpoint = bus.register(agent_name(host.host_id), self._on_message)
+        #: The host NIC stays reachable while the host sleeps (WoL).
+        self.nic = bus.register(nic_name(host.host_id), self._on_nic_message)
+        #: VMs this agent owns (§4.2: a partial VM's owner remains the
+        #: source agent, which controls its memory server image).
+        self.owned_vmids: set = set()
+        self._suspend_requested = False
+        self._pending_sends = 0
+        self.sim.schedule(
+            self.stats_interval_s, self._report_stats,
+            label=f"stats-{host.host_id}",
+        )
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+
+    def _on_message(self, source, message) -> None:
+        if isinstance(message, CreateVmOrder):
+            self._handle_create(source, message)
+        elif isinstance(message, MigrationOrder):
+            self._handle_migration(source, message)
+        elif isinstance(message, ExchangeOrder):
+            self._handle_exchange(source, message)
+        elif isinstance(message, ConvertInPlaceOrder):
+            self._handle_convert(source, message)
+        elif isinstance(message, ImageReleaseNotice):
+            self.host.remove_served_image(message.vmid)
+        elif isinstance(message, ReintegrationOrder):
+            self._handle_reintegration(source, message)
+        elif isinstance(message, SuspendOrder):
+            self._handle_suspend(source)
+        elif isinstance(message, VmDescriptorPush):
+            self._handle_arrival(source, message)
+        else:
+            self.endpoint.send(
+                source, Nack("unknown", f"unhandled message {message!r}")
+            )
+
+    def _on_nic_message(self, source, message) -> None:
+        if isinstance(message, WakeOnLan) and self.host.is_sleeping:
+            self.host.begin_resume()
+            self.sim.schedule(
+                2.3, self._complete_resume, label=f"resume-{self.host.host_id}"
+            )
+
+    def _complete_resume(self) -> None:
+        self.host.complete_resume()
+
+    # -- VM creation ------------------------------------------------------
+
+    def _handle_create(self, source, order: CreateVmOrder) -> None:
+        config = order.config
+        vm = VirtualMachine(
+            config.vmid, self.host.host_id, config.memory_mib
+        )
+        try:
+            self.host.attach(vm)
+        except CapacityError as error:
+            self.endpoint.send(source, Nack("create", str(error)))
+            return
+        self.owned_vmids.add(config.vmid)
+        self.endpoint.send(source, Ack("create", payload=config.vmid))
+
+    # -- outbound migrations ------------------------------------------------
+
+    def _handle_migration(self, source, order: MigrationOrder) -> None:
+        try:
+            vm = self.host.get_vm(order.vmid)
+        except MigrationError as error:
+            self.endpoint.send(source, Nack("migrate", str(error)))
+            return
+        if order.migration_type is MigrationType.PARTIAL:
+            # Suspend the VM, upload its memory to the memory server,
+            # then push the descriptor (§4.2).
+            latency = self.costs.partial_migration_s
+            self.host.detach(vm.vm_id)
+            vm.become_partial(order.destination, order.working_set_mib)
+            self.host.add_served_image(vm.vm_id)
+        else:
+            latency = self.costs.full_migration_s
+            self.host.detach(vm.vm_id)
+            vm.full_migrate(order.destination)
+            # Ownership moves with a full migration (§4.2).
+            self.owned_vmids.discard(vm.vm_id)
+        self._pending_sends += 1
+        self.sim.schedule(
+            latency,
+            self._push_descriptor,
+            vm,
+            order,
+            label=f"migrate-{vm.vm_id}",
+        )
+
+    def _push_descriptor(self, vm: VirtualMachine, order: MigrationOrder):
+        self._pending_sends -= 1
+        self.endpoint.send(
+            agent_name(order.destination),
+            VmDescriptorPush(
+                vm=vm,
+                migration_type=order.migration_type,
+                working_set_mib=order.working_set_mib,
+            ),
+        )
+        self._maybe_suspend()
+
+    def _handle_convert(self, source, order: ConvertInPlaceOrder) -> None:
+        try:
+            vm = self.host.get_vm(order.vmid)
+        except MigrationError as error:
+            self.endpoint.send(source, Nack("convert", str(error)))
+            return
+        if vm.residency is not Residency.PARTIAL:
+            return  # already full; nothing to pull
+        old_home = vm.home_id
+        try:
+            self.host.convert_vm_full_in_place(vm.vm_id)
+        except CapacityError as error:
+            self.endpoint.send(source, Nack("convert", str(error)))
+            return
+        self.owned_vmids.add(vm.vm_id)
+        self.endpoint.send(agent_name(old_home), ImageReleaseNotice(vm.vm_id))
+        self.endpoint.send(
+            source, Ack("converted", payload=(vm.vm_id, self.host.host_id))
+        )
+
+    def _handle_exchange(self, source, order: ExchangeOrder) -> None:
+        try:
+            vm = self.host.get_vm(order.vmid)
+        except MigrationError as error:
+            self.endpoint.send(source, Nack("exchange", str(error)))
+            return
+        self.host.detach(vm.vm_id)
+        vm.full_migrate(order.origin_home)
+        self.owned_vmids.discard(vm.vm_id)
+        self._pending_sends += 1
+        self.sim.schedule(
+            self.costs.full_migration_s,
+            self._push_exchange_leg1,
+            vm,
+            order,
+            label=f"exchange-{vm.vm_id}",
+        )
+
+    def _push_exchange_leg1(self, vm: VirtualMachine, order: ExchangeOrder):
+        self._pending_sends -= 1
+        self.endpoint.send(
+            agent_name(order.origin_home),
+            VmDescriptorPush(
+                vm=vm,
+                migration_type=MigrationType.FULL,
+                repartialize_to=self.host.host_id,
+                repartialize_ws_mib=order.working_set_mib,
+            ),
+        )
+        self._maybe_suspend()
+
+    # -- inbound migrations ---------------------------------------------------
+
+    def _handle_arrival(self, source, push: VmDescriptorPush) -> None:
+        vm = push.vm
+        self.host.attach(vm)
+        # A VM landing back on its home host merges with (and thereby
+        # releases) the image its memory server was holding.
+        self.host.remove_served_image(vm.vm_id)
+        if push.migration_type is MigrationType.FULL:
+            self.owned_vmids.add(vm.vm_id)
+        if push.repartialize_to is not None and not vm.is_active:
+            # Second leg of a FulltoPartial exchange: consolidate the VM
+            # right back as a partial replica (§3.2).
+            self._handle_migration(
+                self.manager_name,
+                MigrationOrder(
+                    vmid=vm.vm_id,
+                    migration_type=MigrationType.PARTIAL,
+                    destination=push.repartialize_to,
+                    working_set_mib=push.repartialize_ws_mib,
+                ),
+            )
+            return
+        self.endpoint.send(
+            self.manager_name,
+            Ack("migrated", payload=(vm.vm_id, self.host.host_id)),
+        )
+
+    # -- reintegration ------------------------------------------------------------
+
+    def _handle_reintegration(self, source, order: ReintegrationOrder):
+        for vmid in order.vmids:
+            try:
+                vm = self.host.get_vm(vmid)
+            except MigrationError:
+                continue
+            if vm.residency is not Residency.PARTIAL:
+                continue
+            home = vm.home_id
+            self.host.detach(vmid)
+            self._pending_sends += 1
+            self.sim.schedule(
+                self.costs.reintegration_s,
+                self._complete_reintegration,
+                vm,
+                home,
+                label=f"reintegrate-{vmid}",
+            )
+        self._maybe_suspend()
+
+    def _complete_reintegration(self, vm: VirtualMachine, home: int) -> None:
+        self._pending_sends -= 1
+        vm.reintegrate()
+        self.endpoint.send(
+            agent_name(home),
+            VmDescriptorPush(vm=vm, migration_type=MigrationType.FULL),
+        )
+        self._maybe_suspend()
+
+    # -- host power ------------------------------------------------------------------
+
+    def _handle_suspend(self, source) -> None:
+        self._suspend_requested = True
+        self._maybe_suspend()
+
+    def _maybe_suspend(self) -> None:
+        if (
+            self._suspend_requested
+            and self._pending_sends == 0
+            and self.host.is_powered
+            and self.host.vm_count == 0
+        ):
+            self._suspend_requested = False
+            self.host.begin_suspend()
+            self.sim.schedule(
+                3.1, self.host.complete_suspend,
+                label=f"suspend-{self.host.host_id}",
+            )
+
+    # -- statistics -----------------------------------------------------------------------
+
+    def _report_stats(self) -> None:
+        if self.host.is_powered:
+            self.endpoint.send(self.manager_name, self.build_stats())
+        self.sim.schedule(
+            self.stats_interval_s, self._report_stats,
+            label=f"stats-{self.host.host_id}",
+        )
+
+    def build_stats(self) -> StatsReport:
+        """Snapshot the host, as xenstat would (§4.2)."""
+        vms = {}
+        active = 0
+        for vm in self.host.vms():
+            if vm.is_active:
+                active += 1
+            vms[vm.vm_id] = VmStats(
+                vmid=vm.vm_id,
+                memory_allocation_mib=vm.memory_mib,
+                resident_mib=vm.resident_mib,
+                active=vm.is_active,
+                dirty_rate_mib_s=10.0 if vm.is_active else 0.2,
+            )
+        return StatsReport(
+            host_id=self.host.host_id,
+            time_s=self.sim.now,
+            memory_used_mib=self.host.used_mib,
+            memory_capacity_mib=self.host.capacity_mib,
+            cpu_utilization=min(1.0, 0.05 + 0.03 * active),
+            io_utilization=min(1.0, 0.02 + 0.01 * active),
+            vms=vms,
+        )
+
+    # -- local activity detection -----------------------------------------------------------
+
+    def set_vm_activity(self, vmid: int, active: bool) -> None:
+        """Drive a local VM's activity and notify the manager on
+        boundary crossings (the §3.1 idleness monitor)."""
+        vm = self.host.get_vm(vmid)
+        was_active = vm.is_active
+        vm.set_activity(VmActivity.ACTIVE if active else VmActivity.IDLE)
+        if active != was_active:
+            self.endpoint.send(
+                self.manager_name,
+                VmStateChangeNotice(
+                    host_id=self.host.host_id, vmid=vmid, active=active
+                ),
+            )

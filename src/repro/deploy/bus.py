@@ -1,0 +1,96 @@
+"""An in-process message bus with modeled network latency.
+
+Endpoints (the manager daemon, each host agent, each host's NIC for
+Wake-on-LAN) register by name; messages are delivered as discrete
+events after a configurable latency, so control-plane chatter is
+ordered and timed on the same clock as everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Tuple
+
+from repro.errors import ConfigError, SimulationError
+from repro.simulator.engine import Simulator
+
+Handler = Callable[[Hashable, object], None]
+
+
+class Endpoint:
+    """One addressable participant on the bus."""
+
+    def __init__(self, bus: "MessageBus", name: Hashable) -> None:
+        self._bus = bus
+        self.name = name
+
+    def send(self, destination: Hashable, message: object) -> None:
+        """Send a message; it arrives after the bus latency."""
+        self._bus.post(self.name, destination, message)
+
+
+class MessageBus:
+    """Routes messages between named endpoints with delivery latency."""
+
+    def __init__(self, sim: Simulator, latency_s: float = 0.0005) -> None:
+        if latency_s < 0.0:
+            raise ConfigError("bus latency must be non-negative")
+        self._sim = sim
+        self.latency_s = latency_s
+        self._handlers: Dict[Hashable, Handler] = {}
+        #: Delivered-message log for tests and debugging:
+        #: (time, source, destination, message).
+        self.log: List[Tuple[float, Hashable, Hashable, object]] = []
+        self.log_enabled = True
+
+    def register(self, name: Hashable, handler: Handler) -> Endpoint:
+        """Attach a handler for messages addressed to ``name``."""
+        if name in self._handlers:
+            raise ConfigError(f"endpoint {name!r} is already registered")
+        self._handlers[name] = handler
+        return Endpoint(self, name)
+
+    def post(
+        self, source: Hashable, destination: Hashable, message: object
+    ) -> None:
+        """Queue a message for delivery after the bus latency."""
+        if destination not in self._handlers:
+            raise SimulationError(
+                f"no endpoint {destination!r} on the bus "
+                f"(message from {source!r}: {message!r})"
+            )
+        self._sim.schedule(
+            self.latency_s,
+            self._deliver,
+            source,
+            destination,
+            message,
+            label=f"msg:{source}->{destination}",
+        )
+
+    def _deliver(
+        self, source: Hashable, destination: Hashable, message: object
+    ) -> None:
+        handler = self._handlers.get(destination)
+        if handler is None:
+            raise SimulationError(
+                f"endpoint {destination!r} vanished before delivery"
+            )
+        if self.log_enabled:
+            self.log.append((self._sim.now, source, destination, message))
+        handler(source, message)
+
+    def messages_to(self, destination: Hashable) -> List[object]:
+        """All messages delivered to one endpoint (from the log)."""
+        return [
+            message
+            for _time, _source, dest, message in self.log
+            if dest == destination
+        ]
+
+    def messages_of_type(self, message_type) -> List[object]:
+        """All delivered messages of a given class (from the log)."""
+        return [
+            message
+            for _time, _source, _dest, message in self.log
+            if isinstance(message, message_type)
+        ]

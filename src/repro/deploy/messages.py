@@ -1,0 +1,118 @@
+"""Control-plane message types (§4.1-4.2).
+
+The manager's RPC surface, the agents' statistics reports, and the
+power-management side channel (Wake-on-LAN), as typed messages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+
+
+class MigrationType(enum.Enum):
+    """The ``migration type`` field of a manager order (§4.1)."""
+
+    PARTIAL = "partial"
+    FULL = "full"
+
+
+@dataclass(frozen=True)
+class CreateVmCall:
+    """Client -> manager: create a VM from a configuration file path."""
+
+    config_path: str
+
+    def __post_init__(self) -> None:
+        if not self.config_path:
+            raise ConfigError("a create call needs a configuration path")
+
+
+@dataclass(frozen=True)
+class MigrationOrder:
+    """Manager -> agent: one ``<vmid, migration type, destination>``
+    tuple (§4.1)."""
+
+    vmid: int
+    migration_type: MigrationType
+    destination: int
+    #: Sampled idle working set for partial migrations, MiB.
+    working_set_mib: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.migration_type is MigrationType.PARTIAL:
+            if self.working_set_mib is None or self.working_set_mib <= 0.0:
+                raise ConfigError(
+                    f"VM {self.vmid}: partial order needs a working set"
+                )
+
+
+@dataclass(frozen=True)
+class SuspendOrder:
+    """Manager -> agent: suspend the host into sleep mode once its
+    migrations complete (§4.1)."""
+
+    host_id: int
+
+
+@dataclass(frozen=True)
+class WakeOnLan:
+    """Manager -> host NIC: wake a sleeping host before placing a VM on
+    it (§4.1)."""
+
+    host_id: int
+
+
+@dataclass(frozen=True)
+class VmStats:
+    """Per-VM statistics inside an agent report (§4.1)."""
+
+    vmid: int
+    memory_allocation_mib: float
+    resident_mib: float
+    active: bool
+    #: Page dirtying rate, the §3.1 idleness signal the hypervisor can
+    #: observe.
+    dirty_rate_mib_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class StatsReport:
+    """Agent -> manager: periodic host and VM statistics (§4.1)."""
+
+    host_id: int
+    time_s: float
+    memory_used_mib: float
+    memory_capacity_mib: float
+    cpu_utilization: float
+    io_utilization: float
+    vms: Dict[int, VmStats] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.memory_capacity_mib <= 0.0:
+            raise ConfigError("capacity must be positive")
+        if not 0.0 <= self.cpu_utilization <= 1.0:
+            raise ConfigError("cpu utilization must be in [0, 1]")
+
+    @property
+    def memory_utilization(self) -> float:
+        return self.memory_used_mib / self.memory_capacity_mib
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Generic success response carrying an optional payload."""
+
+    request: str
+    payload: object = None
+
+
+@dataclass(frozen=True)
+class Nack:
+    """Generic failure response with a reason."""
+
+    request: str
+    reason: str

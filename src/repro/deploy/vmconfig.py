@@ -1,0 +1,99 @@
+"""VM configuration files (§4.1).
+
+Clients create VMs by giving the manager the path of a configuration
+file on the network storage.  Each file carries a unique four-digit
+``vmid``, the path of the VM's disk image, the memory allocation, the
+number of virtual CPUs, and device configuration (network, virtual
+frame buffer).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.errors import ConfigError
+from repro.units import DEFAULT_VM_MEMORY_MIB
+
+
+@dataclass(frozen=True)
+class VmConfigFile:
+    """One VM's configuration, as the manager parses it."""
+
+    vmid: int
+    disk_image: str
+    memory_mib: float = DEFAULT_VM_MEMORY_MIB
+    vcpus: int = 1
+    devices: Dict[str, str] = field(
+        default_factory=lambda: {"network": "bridge0", "vfb": "vnc"}
+    )
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vmid <= 9999:
+            raise ConfigError(
+                f"vmid must be a four-digit identifier, got {self.vmid}"
+            )
+        if not self.disk_image:
+            raise ConfigError("a VM needs a disk image path")
+        if self.memory_mib <= 0.0:
+            raise ConfigError("memory allocation must be positive")
+        if self.vcpus < 1:
+            raise ConfigError("a VM needs at least one vCPU")
+
+    @property
+    def vmid_str(self) -> str:
+        """The canonical zero-padded four-digit form."""
+        return f"{self.vmid:04d}"
+
+    # -- (de)serialization ------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "vmid": self.vmid,
+            "disk_image": self.disk_image,
+            "memory_mib": self.memory_mib,
+            "vcpus": self.vcpus,
+            "devices": dict(self.devices),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "VmConfigFile":
+        if not isinstance(data, dict):
+            raise ConfigError("VM configuration must be an object")
+        unknown = set(data) - {"vmid", "disk_image", "memory_mib",
+                               "vcpus", "devices"}
+        if unknown:
+            raise ConfigError(f"unknown VM configuration keys: {sorted(unknown)}")
+        try:
+            return cls(
+                vmid=int(data["vmid"]),
+                disk_image=str(data["disk_image"]),
+                memory_mib=float(data.get("memory_mib", DEFAULT_VM_MEMORY_MIB)),
+                vcpus=int(data.get("vcpus", 1)),
+                devices=dict(data.get("devices", {"network": "bridge0",
+                                                  "vfb": "vnc"})),
+            )
+        except KeyError as error:
+            raise ConfigError(f"VM configuration missing {error}")
+        except (TypeError, ValueError) as error:
+            raise ConfigError(f"malformed VM configuration: {error}")
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the configuration file (JSON on the network storage)."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=1)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "VmConfigFile":
+        """Parse a configuration file, as the manager does on a create
+        call (§4.1)."""
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except OSError as error:
+            raise ConfigError(f"cannot read VM configuration: {error}")
+        except json.JSONDecodeError as error:
+            raise ConfigError(f"{path}: invalid JSON ({error})")
+        return cls.from_dict(data)

@@ -1,0 +1,132 @@
+"""Piecewise-constant power integration and state-time tracking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class _Meter:
+    watts: float
+    since: float
+    joules: float = 0.0
+
+
+class EnergyAccountant:
+    """Integrates energy for a set of entities with piecewise power.
+
+    Each entity (host, memory server, switch, ...) reports power changes
+    through :meth:`set_power`; the accountant accumulates
+    ``watts x elapsed-seconds`` into per-entity joules.  Call
+    :meth:`finish` once at the simulation horizon to close open segments.
+    """
+
+    def __init__(self) -> None:
+        self._meters: Dict[Hashable, _Meter] = {}
+        self._finished_at = None
+
+    def set_power(self, entity: Hashable, watts: float, now: float) -> None:
+        """Record that ``entity`` draws ``watts`` from time ``now`` on."""
+        if watts < 0.0:
+            raise SimulationError(f"negative power {watts} W for {entity!r}")
+        meter = self._meters.get(entity)
+        if meter is None:
+            self._meters[entity] = _Meter(watts=watts, since=now)
+            return
+        if now < meter.since:
+            raise SimulationError(
+                f"power update for {entity!r} at {now} precedes {meter.since}"
+            )
+        meter.joules += meter.watts * (now - meter.since)
+        meter.watts = watts
+        meter.since = now
+
+    def add_energy(self, entity: Hashable, joules: float) -> None:
+        """Add a lump of energy outside the piecewise-power model.
+
+        Used for analytically-computed surcharges (e.g. the wake-up tax
+        a sleeping host pays to serve page requests when it lacks a
+        memory server) that would be wasteful to express as thousands of
+        tiny power segments.
+        """
+        if joules < 0.0:
+            raise SimulationError(f"negative energy {joules} J for {entity!r}")
+        meter = self._meters.get(entity)
+        if meter is None:
+            self._meters[entity] = _Meter(watts=0.0, since=0.0, joules=joules)
+        else:
+            meter.joules += joules
+
+    def finish(self, now: float) -> None:
+        """Close all open segments at the simulation horizon ``now``."""
+        for meter in self._meters.values():
+            if now < meter.since:
+                raise SimulationError("finish time precedes an open segment")
+            meter.joules += meter.watts * (now - meter.since)
+            meter.since = now
+        self._finished_at = now
+
+    def energy_joules(self, entity: Hashable) -> float:
+        """Accumulated energy for one entity (closed segments only)."""
+        meter = self._meters.get(entity)
+        return 0.0 if meter is None else meter.joules
+
+    def total_joules(self) -> float:
+        """Accumulated energy over all entities."""
+        return sum(meter.joules for meter in self._meters.values())
+
+    def entities(self):
+        """All entities that ever reported power."""
+        return list(self._meters)
+
+
+class StateTimeTracker:
+    """Tracks how long each entity spends in each named state.
+
+    Used for the home-host sleep-fraction metric and for validating power
+    accounting (sleep time x sleep watts should match the meter).
+    """
+
+    def __init__(self) -> None:
+        self._current: Dict[Hashable, Tuple[str, float]] = {}
+        self._durations: Dict[Tuple[Hashable, str], float] = {}
+
+    def set_state(self, entity: Hashable, state: str, now: float) -> None:
+        """Record that ``entity`` enters ``state`` at time ``now``."""
+        previous = self._current.get(entity)
+        if previous is not None:
+            old_state, since = previous
+            if now < since:
+                raise SimulationError(
+                    f"state update for {entity!r} at {now} precedes {since}"
+                )
+            key = (entity, old_state)
+            self._durations[key] = self._durations.get(key, 0.0) + (now - since)
+        self._current[entity] = (state, now)
+
+    def finish(self, now: float) -> None:
+        """Close all open states at the simulation horizon."""
+        for entity in list(self._current):
+            state, _since = self._current[entity]
+            self.set_state(entity, state, now)
+
+    def duration(self, entity: Hashable, state: str) -> float:
+        """Seconds ``entity`` spent in ``state`` (closed spans only)."""
+        return self._durations.get((entity, state), 0.0)
+
+    def total_duration(self, state: str) -> float:
+        """Seconds spent in ``state`` summed over all entities."""
+        return sum(
+            seconds
+            for (_entity, tracked_state), seconds in self._durations.items()
+            if tracked_state == state
+        )
+
+    def fraction(self, entity: Hashable, state: str, horizon: float) -> float:
+        """Fraction of ``horizon`` that ``entity`` spent in ``state``."""
+        if horizon <= 0.0:
+            raise SimulationError("horizon must be positive")
+        return self.duration(entity, state) / horizon

@@ -1,0 +1,92 @@
+"""Electricity cost and carbon accounting on top of energy reports.
+
+The paper motivates Oasis with datacenter electricity bills (91 billion
+kWh across US datacenters in 2013, §1); this module converts measured
+joules into the quantities an operator budgets: dollars and kilograms
+of CO2, per day and per year.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.report import EnergyReport
+from repro.errors import ConfigError
+from repro.units import joules_to_wh
+
+
+@dataclass(frozen=True)
+class ElectricityTariff:
+    """Price and carbon intensity of one kWh."""
+
+    usd_per_kwh: float = 0.10
+    #: Grid carbon intensity; ~0.4 kg CO2/kWh is a US-average figure.
+    kg_co2_per_kwh: float = 0.4
+    #: Power-usage effectiveness: facility overhead (cooling, UPS) per
+    #: unit of IT energy.  1.0 counts IT load only.
+    pue: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.usd_per_kwh < 0.0 or self.kg_co2_per_kwh < 0.0:
+            raise ConfigError("tariff terms must be non-negative")
+        if self.pue < 1.0:
+            raise ConfigError("PUE cannot be below 1.0")
+
+    def facility_kwh(self, joules: float) -> float:
+        """IT joules scaled to facility kWh by the PUE."""
+        if joules < 0.0:
+            raise ConfigError("energy must be non-negative")
+        return joules_to_wh(joules) / 1000.0 * self.pue
+
+    def cost_usd(self, joules: float) -> float:
+        return self.facility_kwh(joules) * self.usd_per_kwh
+
+    def carbon_kg(self, joules: float) -> float:
+        return self.facility_kwh(joules) * self.kg_co2_per_kwh
+
+
+@dataclass(frozen=True)
+class SavingsStatement:
+    """What one day's consolidation is worth under a tariff."""
+
+    report: EnergyReport
+    tariff: ElectricityTariff
+    #: How many days per year this day represents (365 for an average
+    #: day; use 261/104 to weight weekday/weekend days separately).
+    days_per_year: float = 365.0
+
+    def __post_init__(self) -> None:
+        if self.days_per_year <= 0.0:
+            raise ConfigError("days_per_year must be positive")
+
+    @property
+    def saved_joules(self) -> float:
+        return self.report.baseline_joules - self.report.managed_joules
+
+    @property
+    def daily_kwh(self) -> float:
+        return self.tariff.facility_kwh(self.saved_joules)
+
+    @property
+    def daily_usd(self) -> float:
+        return self.tariff.cost_usd(self.saved_joules)
+
+    @property
+    def daily_carbon_kg(self) -> float:
+        return self.tariff.carbon_kg(self.saved_joules)
+
+    @property
+    def annual_usd(self) -> float:
+        return self.daily_usd * self.days_per_year
+
+    @property
+    def annual_carbon_kg(self) -> float:
+        return self.daily_carbon_kg * self.days_per_year
+
+    def __str__(self) -> str:
+        return (
+            f"saves {self.daily_kwh:.1f} kWh/day "
+            f"(${self.daily_usd:.2f}, {self.daily_carbon_kg:.1f} kg CO2) "
+            f"-> ~${self.annual_usd:,.0f} and "
+            f"{self.annual_carbon_kg / 1000.0:.1f} t CO2 per year"
+        )

@@ -1,0 +1,37 @@
+"""Trace-driven VDI server-farm simulation (§5).
+
+This package wires every substrate together: it builds the rack
+(:mod:`repro.cluster`), assigns one VM per user trace, runs the Oasis
+manager (:mod:`repro.core`) over a simulated day on the discrete-event
+kernel, integrates energy, and collects the metrics behind every figure
+of the paper's evaluation.
+"""
+
+from repro.farm.config import FarmConfig
+from repro.farm.metrics import FarmResult, DelaySample
+from repro.farm.simulation import FarmSimulation, simulate_day
+from repro.farm.sweep import (
+    SweepPoint,
+    average_savings,
+    consolidation_host_sweep,
+    memory_server_power_sweep,
+    cluster_shape_sweep,
+)
+from repro.farm.week import WeekReport, simulate_week
+from repro.farm.validate import validate_simulation
+
+__all__ = [
+    "FarmConfig",
+    "FarmResult",
+    "DelaySample",
+    "FarmSimulation",
+    "simulate_day",
+    "SweepPoint",
+    "average_savings",
+    "consolidation_host_sweep",
+    "memory_server_power_sweep",
+    "cluster_shape_sweep",
+    "WeekReport",
+    "simulate_week",
+    "validate_simulation",
+]

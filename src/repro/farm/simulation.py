@@ -1,0 +1,790 @@
+"""The trace-driven farm simulation engine.
+
+One :class:`FarmSimulation` runs one simulated day:
+
+* every 5-minute trace interval, VM activity is updated and the manager
+  plans FulltoPartial exchanges plus greedy host vacations (§3.1-3.2);
+* idle-to-active transitions fire as jittered discrete events and are
+  resolved by the policy (in-place conversion, re-homing, or waking the
+  home host and returning all of its VMs), producing the Figure 11 delay
+  samples;
+* migrations serialize on per-host bottlenecks (the home's SAS upload
+  path, host NICs), which produces resume-storm queueing;
+* host power follows Table 1 through all power-state transitions, and a
+  sleeping compute host pays for its memory server.
+
+Design note — instant state commits: placement state (which VM sits
+where, how much memory it holds) commits at decision time, while
+latency, serialization, and energy are modeled through the event clock
+and per-host busy horizons.  A per-VM ``settles_at`` timestamp bridges
+the two: operations on a VM that is still "in flight" cannot start
+before it lands.  This keeps the state machine simple (no partially
+transferred VMs) at the cost of attributing a migration's residency to
+its destination a few seconds early — negligible against 5-minute
+planning intervals, and validated by the energy cross-checks in the
+test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set
+
+from repro.cluster.host import Host, HostRole
+from repro.cluster.power import PowerState
+from repro.cluster.topology import Cluster
+from repro.core.manager import ClusterManager
+from repro.core.plan import (
+    ActivationAction,
+    ConsolidationPlan,
+    ExchangePlan,
+    HostVacatePlan,
+    MigrationMode,
+)
+from repro.core.policies import PolicySpec
+from repro.energy.accounting import EnergyAccountant, StateTimeTracker
+from repro.energy.report import EnergyReport, baseline_energy_joules
+from repro.errors import CapacityError, ConfigError, SimulationError
+from repro.farm.config import FarmConfig
+from repro.farm.metrics import DelaySample, FarmResult
+from repro.migration.scheduler import HostBusyScheduler
+from repro.migration.traffic import TrafficCategory
+from repro.simulator.engine import Simulator
+from repro.simulator.randomness import RngStreams
+from repro.traces.model import DayType
+from repro.traces.sampler import TraceEnsemble, generate_ensemble
+from repro.units import SECONDS_PER_DAY, TRACE_INTERVAL_SECONDS
+from repro.vm.machine import VirtualMachine
+from repro.vm.state import Residency, VmActivity
+
+_SLEEP_STATE = "sleeping"
+
+
+class FarmSimulation:
+    """One day of one policy over one trace ensemble."""
+
+    def __init__(
+        self,
+        config: FarmConfig,
+        policy: PolicySpec,
+        ensemble: TraceEnsemble,
+        seed: int = 0,
+    ) -> None:
+        if len(ensemble) != config.total_vms:
+            raise ConfigError(
+                f"ensemble has {len(ensemble)} users; the configuration "
+                f"needs {config.total_vms} (one VM per user)"
+            )
+        self.config = config
+        self.policy = policy
+        self.ensemble = ensemble
+        self.seed = seed
+        self.streams = RngStreams(seed)
+
+        self.sim = Simulator()
+        self.scheduler = HostBusyScheduler()
+        self.accountant = EnergyAccountant()
+        self.tracker = StateTimeTracker()
+
+        self.cluster = Cluster(
+            home_hosts=config.home_hosts,
+            consolidation_hosts=config.consolidation_hosts,
+            host_capacity_mib=config.capacity_mib,
+        )
+        # Consolidation hosts sleep by default (§3.1); set before any
+        # energy accounting begins.
+        for host in self.cluster.consolidation_hosts:
+            host.power_state = PowerState.SLEEPING
+
+        self.manager = ClusterManager(
+            cluster=self.cluster,
+            policy=policy,
+            working_sets=config.working_sets,
+            rng=self.streams.get("manager"),
+            min_idle_intervals=config.min_idle_intervals,
+            strategy=config.placement_strategy,
+        )
+
+        self.vms: Dict[int, VirtualMachine] = {}
+        for vm_id in range(config.total_vms):
+            home_id = vm_id // config.vms_per_host
+            vm = VirtualMachine(vm_id, home_id, config.vm_memory_mib)
+            self.vms[vm_id] = vm
+            self.cluster.host(home_id).attach(vm)
+
+        self.result = FarmResult(
+            policy_name=policy.name,
+            day_type=ensemble.day_type.value,
+            seed=seed,
+            horizon_s=SECONDS_PER_DAY,
+        )
+
+        self._jitter_rng = self.streams.get("activation-jitter")
+        self._traffic_rng = self.streams.get("traffic")
+        self._settles_at: Dict[int, float] = {}
+        self._episode_open: Set[int] = set()
+        self._transition_done: Dict[int, float] = {}
+        self._wake_after_suspend: Set[int] = set()
+        self._suspend_pending: Set[int] = set()
+        self._previous_activity: List[bool] = [False] * config.total_vms
+        self._planning_every = int(
+            round(config.planning_interval_s / TRACE_INTERVAL_SECONDS)
+        )
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> FarmResult:
+        """Execute the full day and return the collected metrics."""
+        if self._finished:
+            raise SimulationError("this simulation has already run")
+        now = self.sim.now
+        for host in self.cluster:
+            self._refresh_power(host)
+            self.tracker.set_state(host.host_id, host.power_state.value, now)
+
+        intervals = int(SECONDS_PER_DAY / TRACE_INTERVAL_SECONDS)
+        for index in range(intervals):
+            boundary = index * TRACE_INTERVAL_SECONDS
+            self.sim.schedule_at(
+                boundary, self._on_interval, index, label=f"interval-{index}"
+            )
+            self.sim.schedule_at(
+                boundary + TRACE_INTERVAL_SECONDS / 2.0,
+                self._sample_metrics,
+                label=f"sample-{index}",
+            )
+        self.sim.run_until(SECONDS_PER_DAY)
+        self._finalize()
+        return self.result
+
+    # ------------------------------------------------------------------
+    # interval processing
+    # ------------------------------------------------------------------
+
+    def _on_interval(self, index: int) -> None:
+        now = self.sim.now
+        self._update_activities(index, now)
+        if not self.config.memory_server_present:
+            self._charge_page_request_wakeups()
+        if self.config.working_set_growth_mib_per_h > 0.0:
+            self._grow_working_sets(now)
+        if index % self._planning_every == 0:
+            for exchange in self.manager.plan_exchanges():
+                self._execute_exchange(exchange, now)
+            plan = self.manager.plan_consolidation(
+                compact_consolidation=self.config.compact_consolidation_hosts
+            )
+            self._execute_consolidation(plan, now)
+        for host in self.cluster:
+            if host.is_powered:
+                self._refresh_power(host)
+                if host.vm_count == 0:
+                    self._consider_suspend(host)
+
+    def _update_activities(self, index: int, now: float) -> None:
+        jitter_max = self.config.activation_jitter_s
+        for vm_id, trace in enumerate(self.ensemble):
+            active = trace.intervals[index]
+            was_active = self._previous_activity[vm_id]
+            self._previous_activity[vm_id] = active
+            vm = self.vms[vm_id]
+            vm.set_activity(VmActivity.ACTIVE if active else VmActivity.IDLE)
+            if active and not was_active:
+                if vm.residency is Residency.FULL:
+                    # Full VMs already hold all their resources (§5.5).
+                    self.result.delays.append(
+                        DelaySample(
+                            time_s=now,
+                            vm_id=vm_id,
+                            delay_s=0.0,
+                            action=ActivationAction.ALREADY_FULL.value,
+                        )
+                    )
+                else:
+                    jitter = self._jitter_rng.uniform(1.0, jitter_max - 1.0)
+                    self.sim.schedule(
+                        jitter, self._on_activation, vm_id,
+                        label=f"activate-{vm_id}",
+                    )
+
+    def _charge_page_request_wakeups(self) -> None:
+        """The no-memory-server ablation: sleeping homes pay to serve
+        page requests themselves (the Jettison design, §2).
+
+        With ``k`` consolidated partial VMs emitting request bursts at
+        mean gap ``g``, arrivals at a sleeping home form a process of
+        rate ``k/g``.  Treating gaps as exponential, the fraction of
+        time recoverable as sleep is ``exp(-rate * overhead)`` where the
+        overhead is one suspend/resume round trip plus a linger window;
+        the rest of the interval is spent awake transitioning and
+        serving.  That awake time is charged as an energy surcharge at
+        the blended transition/idle power, and the expected wake cycles
+        are counted.
+        """
+        profile = self.config.host_power
+        linger_s = 1.0
+        overhead_s = profile.transition_round_trip_s + linger_s
+        blended_w = (
+            profile.suspend_w * profile.suspend_s
+            + profile.resume_w * profile.resume_s
+            + profile.idle_w * linger_s
+        ) / overhead_s
+        for host in self.cluster.home_hosts:
+            if not host.is_sleeping or host.served_image_count == 0:
+                continue
+            rate = host.served_image_count / self.config.idle_page_request_gap_s
+            sleep_fraction = math.exp(-rate * overhead_s)
+            awake_s = TRACE_INTERVAL_SECONDS * (1.0 - sleep_fraction)
+            if awake_s <= 0.0:
+                continue
+            surcharge_w = blended_w - profile.sleep_w
+            self.accountant.add_energy(
+                ("wake-tax", host.host_id), awake_s * surcharge_w
+            )
+            expected_cycles = (
+                rate * TRACE_INTERVAL_SECONDS * sleep_fraction
+            )
+            self.result.counters.page_request_wake_cycles += expected_cycles
+
+    def _grow_working_sets(self, now: float) -> None:
+        delta = self.config.working_set_growth_mib_per_h * (
+            TRACE_INTERVAL_SECONDS / 3600.0
+        )
+        for vm in self.vms.values():
+            if vm.residency is not Residency.PARTIAL:
+                continue
+            host = self.cluster.host(vm.host_id)
+            try:
+                host.grow_partial_vm(vm.vm_id, delta)
+            except CapacityError:
+                # Growth exhausted the consolidation host (§3.2): apply the
+                # same strategy as an activation that does not fit.
+                self._handle_wake_home_return_all(vm, now)
+
+    def _sample_metrics(self) -> None:
+        result = self.result
+        result.sample_times_s.append(self.sim.now)
+        active = sum(1 for vm in self.vms.values() if vm.is_active)
+        result.active_vms.append(active)
+        result.powered_hosts.append(self.cluster.powered_host_count())
+        result.powered_home_hosts.append(self.cluster.powered_home_count())
+        result.powered_consolidation_hosts.append(
+            self.cluster.powered_consolidation_count()
+        )
+        for host in self.cluster.consolidation_hosts:
+            if host.is_powered and host.vm_count > 0:
+                result.consolidation_ratio_samples.append(host.vm_count)
+
+    # ------------------------------------------------------------------
+    # activation handling
+    # ------------------------------------------------------------------
+
+    def _on_activation(self, vm_id: int) -> None:
+        now = self.sim.now
+        vm = self.vms[vm_id]
+        decision = self.manager.decide_activation(vm)
+        action = decision.action
+        if action is ActivationAction.ALREADY_FULL:
+            # The VM already holds all of its resources where it runs
+            # (it was returned by a sibling's wake-up, or was never
+            # consolidated): the user sees no delay (§5.5).
+            completed = now
+        elif action is ActivationAction.CONVERT_IN_PLACE:
+            completed = self._convert_in_place(vm, now)
+        elif action is ActivationAction.MIGRATE_NEW_HOME:
+            completed = self._rehome(vm, decision.target_host_id, now)
+        else:
+            completed = self._handle_wake_home_return_all(vm, now)
+        self.result.delays.append(
+            DelaySample(
+                time_s=now,
+                vm_id=vm_id,
+                delay_s=max(0.0, completed - now),
+                action=action.value,
+            )
+        )
+
+    def _convert_in_place(self, vm: VirtualMachine, now: float) -> float:
+        host = self.cluster.host(vm.host_id)
+        old_home = self.cluster.host(vm.home_id)
+        pull_mib = vm.memory_mib - (vm.working_set_mib or 0.0)
+        host.convert_vm_full_in_place(vm.vm_id)
+        old_home.remove_served_image(vm.vm_id)
+        # The remaining image streams in over the consolidation host's
+        # NIC while the VM keeps executing on its resident working set,
+        # so the transfer occupies the NIC without stalling the user;
+        # what the user perceives is the resume handshake (§5.5).
+        _start, end = self.scheduler.reserve(
+            [("nic", host.host_id)],
+            now,
+            self.config.costs.inplace_conversion_s,
+            not_before=self._settles_at.get(vm.vm_id, 0.0),
+        )
+        self.result.traffic.add(TrafficCategory.CONVERSION_PULL, pull_mib)
+        self._close_episode(vm.vm_id)
+        self._settles_at[vm.vm_id] = end
+        self.result.counters.conversions_in_place += 1
+        self._refresh_power(host)
+        return now + self.config.costs.reintegration_s
+
+    def _rehome(
+        self, vm: VirtualMachine, destination_id: int, now: float
+    ) -> float:
+        source = self.cluster.host(vm.host_id)
+        old_home = self.cluster.host(vm.home_id)
+        destination = self.cluster.host(destination_id)
+        source.detach(vm.vm_id)
+        vm.become_full_at(destination_id)
+        destination.attach(vm)
+        old_home.remove_served_image(vm.vm_id)
+        _start, end = self.scheduler.reserve(
+            [("nic", source.host_id)],
+            now,
+            self.config.costs.full_migration_s,
+            occupancy_s=self.config.costs.full_occupancy_s,
+            not_before=self._settles_at.get(vm.vm_id, 0.0),
+        )
+        self.result.traffic.add(TrafficCategory.FULL_MIGRATION, vm.memory_mib)
+        self._close_episode(vm.vm_id)
+        self._settles_at[vm.vm_id] = end
+        self.result.counters.rehomings += 1
+        self._consider_suspend(source)
+        self._refresh_power(source)
+        self._refresh_power(destination)
+        return end
+
+    def _handle_wake_home_return_all(
+        self, trigger: VirtualMachine, now: float
+    ) -> float:
+        """Wake the trigger's home and return all of its VMs (§3.2).
+
+        "All of its VMs" covers both the partial VMs whose images the
+        home serves and full VMs *originally homed* there that were
+        re-homed onto consolidation hosts — migrating the latter back
+        frees real space on the consolidation hosts (§3.2 Default).
+        """
+        home = self.cluster.host(trigger.home_id)
+        ready = self._wake_host(home)
+        self.scheduler.extend(("nic", home.host_id), ready)
+        trigger_end: Optional[float] = None
+        returning = sorted(
+            home.served_image_ids,
+            key=lambda vid: (vid != trigger.vm_id, vid),
+        )
+        for vm_id in returning:
+            vm = self.vms[vm_id]
+            if not home.can_fit(vm.memory_mib):
+                # Foreign re-homed VMs may crowd the host; leave the
+                # stragglers consolidated rather than over-commit.
+                continue
+            source = self.cluster.host(vm.host_id)
+            # Reintegrations queue on the woken home's NIC: a resume
+            # storm of many VMs returning to one host is what produces
+            # the Figure 11 tail.
+            _start, end = self.scheduler.reserve(
+                [("nic", home.host_id)],
+                now,
+                self.config.costs.reintegration_s,
+                occupancy_s=self.config.costs.reintegration_occupancy_s,
+                not_before=self._settles_at.get(vm_id, 0.0),
+            )
+            source.detach(vm_id)
+            vm.reintegrate()
+            home.attach(vm)
+            home.remove_served_image(vm_id)
+            self.result.traffic.add(
+                TrafficCategory.REINTEGRATION,
+                self.config.costs.sample_reintegration_mib(self._traffic_rng),
+            )
+            self._close_episode(vm_id)
+            self._settles_at[vm_id] = end
+            self.result.counters.reintegrations += 1
+            if vm_id == trigger.vm_id:
+                trigger_end = end
+            self._consider_suspend(source)
+            self._refresh_power(source)
+        self._return_full_vms_home(home, now)
+        self._refresh_power(home)
+        if trigger_end is None:
+            # The trigger could not fit back home (pathological crowding);
+            # its delay is at least the wake plus one reintegration.
+            trigger_end = ready + self.config.costs.reintegration_s
+        return trigger_end
+
+    def _return_full_vms_home(self, home: Host, now: float) -> None:
+        """Migrate full VMs originally homed at ``home`` back to it,
+        freeing consolidation-host capacity (§3.2)."""
+        for vm in self.vms.values():
+            if (
+                vm.origin_home_id != home.host_id
+                or vm.host_id == home.host_id
+                or vm.residency is not Residency.FULL
+            ):
+                continue
+            if not home.can_fit(vm.memory_mib):
+                break
+            source = self.cluster.host(vm.host_id)
+            _start, end = self.scheduler.reserve(
+                [("nic", source.host_id)],
+                now,
+                self.config.costs.full_migration_s,
+                occupancy_s=self.config.costs.full_occupancy_s,
+                not_before=self._settles_at.get(vm.vm_id, 0.0),
+            )
+            source.detach(vm.vm_id)
+            vm.full_migrate(home.host_id)
+            home.attach(vm)
+            self.result.traffic.add(
+                TrafficCategory.FULL_MIGRATION, vm.memory_mib
+            )
+            self._settles_at[vm.vm_id] = end
+            self.result.counters.full_migrations += 1
+            self._consider_suspend(source)
+            self._refresh_power(source)
+
+    # ------------------------------------------------------------------
+    # planning execution
+    # ------------------------------------------------------------------
+
+    def _execute_exchange(self, plan: ExchangePlan, now: float) -> None:
+        vm = self.vms[plan.vm_id]
+        home = self.cluster.host(plan.origin_home_id)
+        consolidation = self.cluster.host(plan.consolidation_host_id)
+        if not home.can_fit(vm.memory_mib):
+            return  # crowded by foreign VMs; skip this exchange
+        home_had_vms = home.vm_count > 0 and home.is_powered
+        ready = self._wake_host(home)
+        self.scheduler.extend(("nic", home.host_id), ready)
+
+        # Leg 1: full migration back to the origin home (serialized on
+        # the sending consolidation host's NIC).
+        _start, end_full = self.scheduler.reserve(
+            [("nic", consolidation.host_id)],
+            now,
+            self.config.costs.full_migration_s,
+            occupancy_s=self.config.costs.full_occupancy_s,
+            not_before=max(
+                self._settles_at.get(vm.vm_id, 0.0), ready
+            ),
+        )
+        consolidation.detach(vm.vm_id)
+        vm.full_migrate(home.host_id)
+        home.attach(vm)
+        self.result.traffic.add(TrafficCategory.FULL_MIGRATION, vm.memory_mib)
+        self.result.counters.full_migrations += 1
+        self._settles_at[vm.vm_id] = end_full
+
+        if not home_had_vms:
+            # Leg 2: immediately re-consolidate as a partial VM so the
+            # home can go back to sleep.
+            _start, end_partial = self.scheduler.reserve(
+                [("sas", home.host_id)],
+                now,
+                self.config.costs.partial_migration_s,
+                occupancy_s=self.config.costs.partial_occupancy_s,
+                not_before=end_full,
+            )
+            home.detach(vm.vm_id)
+            vm.become_partial(consolidation.host_id, plan.working_set_mib)
+            consolidation.attach(vm)
+            home.add_served_image(vm.vm_id)
+            self._record_partial_traffic()
+            self._episode_open.add(vm.vm_id)
+            self._settles_at[vm.vm_id] = end_partial
+            self.result.counters.partial_migrations += 1
+            self._consider_suspend(home)
+        # If the home was already awake running VMs, the returned full VM
+        # simply stays there; the periodic planner handles it from now on.
+        self.result.counters.exchanges += 1
+        self._refresh_power(home)
+        self._refresh_power(consolidation)
+
+    def _execute_consolidation(
+        self, plan: ConsolidationPlan, now: float
+    ) -> None:
+        for vacation in plan.vacations:
+            self._execute_vacation(vacation, now)
+        for compaction in plan.compactions:
+            self._execute_compaction(compaction, now)
+
+    def _execute_compaction(self, plan: HostVacatePlan, now: float) -> None:
+        """Empty one consolidation host into its powered peers."""
+        source = self.cluster.host(plan.host_id)
+        costs = self.config.costs
+        for migration in plan.migrations:
+            vm = self.vms[migration.vm_id]
+            destination = self.cluster.host(migration.destination_id)
+            if migration.mode is MigrationMode.PARTIAL:
+                _start, end = self.scheduler.reserve(
+                    [("nic", source.host_id)],
+                    now,
+                    costs.partial_relocation_s,
+                    occupancy_s=costs.relocation_occupancy_s,
+                    not_before=self._settles_at.get(vm.vm_id, 0.0),
+                )
+                source.detach(vm.vm_id)
+                vm.relocate_partial(destination.host_id)
+                destination.attach(vm)
+                # Only the descriptor and resident pages cross the wire;
+                # the memory image stays at the home's memory server.
+                self.result.traffic.add(
+                    TrafficCategory.PARTIAL_DESCRIPTOR,
+                    costs.sample_descriptor_mib(self._traffic_rng)
+                    + (vm.working_set_mib or 0.0),
+                )
+                self.result.counters.partial_relocations += 1
+            else:
+                _start, end = self.scheduler.reserve(
+                    [("nic", source.host_id)],
+                    now,
+                    costs.full_migration_s,
+                    occupancy_s=costs.full_occupancy_s,
+                    not_before=self._settles_at.get(vm.vm_id, 0.0),
+                )
+                source.detach(vm.vm_id)
+                vm.full_migrate(destination.host_id)
+                destination.attach(vm)
+                self.result.traffic.add(
+                    TrafficCategory.FULL_MIGRATION, vm.memory_mib
+                )
+                self.result.counters.full_migrations += 1
+            self._settles_at[vm.vm_id] = end
+            self._refresh_power(destination)
+        self._refresh_power(source)
+        self._consider_suspend(source)
+
+    def _execute_vacation(self, vacation: HostVacatePlan, now: float) -> None:
+        source = self.cluster.host(vacation.host_id)
+        for migration in vacation.migrations:
+            vm = self.vms[migration.vm_id]
+            destination = self.cluster.host(migration.destination_id)
+            dest_ready = now
+            if not destination.is_powered:
+                dest_ready = self._wake_host(destination)
+            if migration.mode is MigrationMode.PARTIAL:
+                # The SAS upload serializes on the source; the small
+                # descriptor push does not tie up the destination.
+                _start, end = self.scheduler.reserve(
+                    [("sas", source.host_id)],
+                    now,
+                    self.config.costs.partial_migration_s,
+                    occupancy_s=self.config.costs.partial_occupancy_s,
+                )
+                source.detach(vm.vm_id)
+                vm.become_partial(
+                    destination.host_id, migration.working_set_mib
+                )
+                destination.attach(vm)
+                source.add_served_image(vm.vm_id)
+                self._record_partial_traffic()
+                self._episode_open.add(vm.vm_id)
+                self.result.counters.partial_migrations += 1
+            else:
+                _start, end = self.scheduler.reserve(
+                    [("nic", source.host_id)],
+                    now,
+                    self.config.costs.full_migration_s,
+                    occupancy_s=self.config.costs.full_occupancy_s,
+                )
+                source.detach(vm.vm_id)
+                vm.full_migrate(destination.host_id)
+                destination.attach(vm)
+                self.result.traffic.add(
+                    TrafficCategory.FULL_MIGRATION, vm.memory_mib
+                )
+                self.result.counters.full_migrations += 1
+            self._settles_at[vm.vm_id] = max(end, dest_ready)
+            self._refresh_power(destination)
+        self._refresh_power(source)
+        self._consider_suspend(source)
+
+    def _record_partial_traffic(self) -> None:
+        costs = self.config.costs
+        self.result.traffic.add(
+            TrafficCategory.PARTIAL_DESCRIPTOR,
+            costs.sample_descriptor_mib(self._traffic_rng),
+        )
+        self.result.traffic.add(
+            TrafficCategory.MEMORY_UPLOAD_SAS,
+            costs.sample_sas_upload_mib(self._traffic_rng),
+        )
+
+    def _close_episode(self, vm_id: int) -> None:
+        """End one consolidation episode: charge its demand-fault traffic."""
+        if vm_id in self._episode_open:
+            self._episode_open.discard(vm_id)
+            self.result.traffic.add(
+                TrafficCategory.ON_DEMAND_PAGES,
+                self.config.costs.sample_on_demand_mib(self._traffic_rng),
+            )
+
+    def _host_release_after(self, host_id: int) -> float:
+        """When the host's last in-flight transfer (on either its NIC or
+        its SAS upload path) completes; it must not sleep before then."""
+        return max(
+            self.scheduler.release_after(("nic", host_id)),
+            self.scheduler.release_after(("sas", host_id)),
+        )
+
+    # ------------------------------------------------------------------
+    # power-state orchestration
+    # ------------------------------------------------------------------
+
+    def _wake_host(self, host: Host) -> float:
+        """Ensure ``host`` is heading to POWERED; return when it is ready."""
+        now = self.sim.now
+        state = host.power_state
+        if state is PowerState.POWERED:
+            return now
+        if state is PowerState.RESUMING:
+            return self._transition_done[host.host_id]
+        profile = self.config.host_power
+        if state is PowerState.SLEEPING:
+            self._count_wakeup(host)
+            host.begin_resume()
+            done = now + profile.resume_s
+            self._transition_done[host.host_id] = done
+            self._note_power_state(host)
+            self.sim.schedule_at(
+                done, self._complete_resume, host.host_id,
+                label=f"resume-{host.host_id}",
+            )
+            return done
+        # SUSPENDING: let the suspend finish, then bounce straight back.
+        self._wake_after_suspend.add(host.host_id)
+        self._count_wakeup(host)
+        return self._transition_done[host.host_id] + profile.resume_s
+
+    def _count_wakeup(self, host: Host) -> None:
+        if host.role is HostRole.COMPUTE:
+            self.result.counters.home_wakeups += 1
+        else:
+            self.result.counters.consolidation_wakeups += 1
+
+    def _complete_resume(self, host_id: int) -> None:
+        host = self.cluster.host(host_id)
+        host.complete_resume()
+        self._note_power_state(host)
+
+    def _consider_suspend(self, host: Host) -> None:
+        """Schedule a guarded suspend once the host drains its queue."""
+        if host.host_id in self._suspend_pending:
+            return
+        if not host.is_powered or host.vm_count > 0:
+            return
+        self._suspend_pending.add(host.host_id)
+        horizon = max(self.sim.now, self._host_release_after(host.host_id))
+        self.sim.schedule_at(
+            horizon, self._suspend_guard, host.host_id,
+            label=f"suspend-{host.host_id}",
+        )
+
+    def _suspend_guard(self, host_id: int) -> None:
+        self._suspend_pending.discard(host_id)
+        host = self.cluster.host(host_id)
+        if not host.is_powered or host.vm_count > 0:
+            return
+        busy = self._host_release_after(host_id)
+        if busy > self.sim.now:
+            self._consider_suspend(host)
+            return
+        host.begin_suspend()
+        self._note_power_state(host)
+        done = self.sim.now + self.config.host_power.suspend_s
+        self._transition_done[host_id] = done
+        self.result.counters.suspends += 1
+        self.sim.schedule_at(
+            done, self._complete_suspend, host_id,
+            label=f"suspend-done-{host_id}",
+        )
+
+    def _complete_suspend(self, host_id: int) -> None:
+        host = self.cluster.host(host_id)
+        host.complete_suspend()
+        self._note_power_state(host)
+        if host_id in self._wake_after_suspend:
+            self._wake_after_suspend.discard(host_id)
+            host.begin_resume()
+            done = self.sim.now + self.config.host_power.resume_s
+            self._transition_done[host_id] = done
+            self._note_power_state(host)
+            self.sim.schedule_at(
+                done, self._complete_resume, host_id,
+                label=f"resume-{host_id}",
+            )
+
+    def _note_power_state(self, host: Host) -> None:
+        self.tracker.set_state(
+            host.host_id, host.power_state.value, self.sim.now
+        )
+        self._refresh_power(host)
+
+    # ------------------------------------------------------------------
+    # energy
+    # ------------------------------------------------------------------
+
+    def _refresh_power(self, host: Host) -> None:
+        profile = self.config.host_power
+        state = host.power_state
+        if state is PowerState.POWERED:
+            watts = profile.powered_watts(
+                full_vms=host.full_vm_count,
+                active_vms=(
+                    host.active_vm_count
+                    if profile.per_active_vm_extra_w > 0.0
+                    else 0
+                ),
+                partial_resident_fraction=host.partial_resident_fraction,
+            )
+        elif state is PowerState.SUSPENDING:
+            watts = profile.suspend_w
+        elif state is PowerState.RESUMING:
+            watts = profile.resume_w
+        else:  # SLEEPING
+            watts = profile.sleep_w
+            if host.memory_server_enabled and self.config.memory_server_present:
+                watts += self.config.memory_server.total_w
+        self.accountant.set_power(host.host_id, watts, self.sim.now)
+
+    def _finalize(self) -> None:
+        horizon = SECONDS_PER_DAY
+        for vm_id in list(self._episode_open):
+            self._close_episode(vm_id)
+        self.accountant.finish(horizon)
+        self.tracker.finish(horizon)
+        managed = self.accountant.total_joules()
+        baseline = baseline_energy_joules(
+            self.config.host_power,
+            home_hosts=self.config.home_hosts,
+            vms_per_host=self.config.vms_per_host,
+            duration_s=horizon,
+        )
+        self.result.energy = EnergyReport(
+            managed_joules=managed, baseline_joules=baseline
+        )
+        for host in self.cluster.home_hosts:
+            self.result.home_sleep_s[host.host_id] = self.tracker.duration(
+                host.host_id, _SLEEP_STATE
+            )
+        self._finished = True
+
+
+def simulate_day(
+    config: FarmConfig,
+    policy: PolicySpec,
+    day_type: DayType,
+    seed: int = 0,
+    ensemble: Optional[TraceEnsemble] = None,
+) -> FarmResult:
+    """Convenience wrapper: generate traces (unless given) and run a day."""
+    if ensemble is None:
+        ensemble = generate_ensemble(
+            config.total_vms,
+            day_type,
+            seed=RngStreams(seed).get("traces").randrange(2**31),
+            config=config.traces,
+        )
+    return FarmSimulation(config, policy, ensemble, seed=seed).run()

@@ -1,0 +1,164 @@
+"""Multi-run sweeps over the farm simulation (§5.3-5.6).
+
+Each figure of the evaluation averages five runs per configuration; the
+helpers here run those repetitions with independent trace draws and
+return means and standard deviations, mirroring Figure 8's error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, pstdev
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.policies import PolicySpec
+from repro.energy.profile import MemoryServerProfile
+from repro.errors import ConfigError
+from repro.farm.config import FarmConfig
+from repro.farm.metrics import FarmResult
+from repro.farm.simulation import simulate_day
+from repro.traces.model import DayType
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregated savings of one configuration."""
+
+    label: str
+    mean_savings: float
+    std_savings: float
+    runs: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: {self.mean_savings:.1%} "
+            f"(+/- {self.std_savings:.1%}, n={self.runs})"
+        )
+
+
+def run_repetitions(
+    config: FarmConfig,
+    policy: PolicySpec,
+    day_type: DayType,
+    runs: int = 5,
+    base_seed: int = 0,
+) -> List[FarmResult]:
+    """Run ``runs`` independent days (fresh trace draw per run)."""
+    if runs < 1:
+        raise ConfigError("need at least one run")
+    return [
+        simulate_day(config, policy, day_type, seed=base_seed + index)
+        for index in range(runs)
+    ]
+
+
+def average_savings(
+    config: FarmConfig,
+    policy: PolicySpec,
+    day_type: DayType,
+    runs: int = 5,
+    base_seed: int = 0,
+    label: Optional[str] = None,
+) -> SweepPoint:
+    """Mean/stddev energy savings over repeated runs."""
+    results = run_repetitions(config, policy, day_type, runs, base_seed)
+    savings = [result.savings_fraction for result in results]
+    return SweepPoint(
+        label=label if label is not None else f"{policy.name}/{day_type.value}",
+        mean_savings=mean(savings),
+        std_savings=pstdev(savings) if len(savings) > 1 else 0.0,
+        runs=runs,
+    )
+
+
+def consolidation_host_sweep(
+    config: FarmConfig,
+    policies: Sequence[PolicySpec],
+    day_type: DayType,
+    consolidation_counts: Sequence[int] = (2, 4, 6, 8, 10, 12),
+    runs: int = 5,
+    base_seed: int = 0,
+) -> Dict[str, List[Tuple[int, SweepPoint]]]:
+    """Figure 8: savings vs number of consolidation hosts per policy."""
+    sweep: Dict[str, List[Tuple[int, SweepPoint]]] = {}
+    for policy in policies:
+        series: List[Tuple[int, SweepPoint]] = []
+        for count in consolidation_counts:
+            point = average_savings(
+                config.with_overrides(consolidation_hosts=count),
+                policy,
+                day_type,
+                runs=runs,
+                base_seed=base_seed,
+                label=f"{policy.name}/{count} consolidation hosts",
+            )
+            series.append((count, point))
+        sweep[policy.name] = series
+    return sweep
+
+
+def memory_server_power_sweep(
+    config: FarmConfig,
+    policy: PolicySpec,
+    watts_options: Sequence[float] = (42.2, 16.0, 8.0, 4.0, 2.0, 1.0),
+    runs: int = 5,
+    base_seed: int = 0,
+) -> List[Tuple[float, SweepPoint, SweepPoint]]:
+    """Table 3: weekday and weekend savings per memory-server design."""
+    rows: List[Tuple[float, SweepPoint, SweepPoint]] = []
+    for watts in watts_options:
+        variant = config.with_overrides(
+            memory_server=MemoryServerProfile.alternative(watts)
+        )
+        weekday = average_savings(
+            variant, policy, DayType.WEEKDAY, runs=runs, base_seed=base_seed,
+            label=f"{watts} W weekday",
+        )
+        weekend = average_savings(
+            variant, policy, DayType.WEEKEND, runs=runs, base_seed=base_seed,
+            label=f"{watts} W weekend",
+        )
+        rows.append((watts, weekday, weekend))
+    return rows
+
+
+def cluster_shape_sweep(
+    config: FarmConfig,
+    policy: PolicySpec,
+    day_type: DayType,
+    shapes: Sequence[Tuple[int, int]] = (
+        (30, 2), (30, 4), (30, 6), (30, 8), (30, 10), (30, 12),
+        (20, 2), (20, 3), (20, 4),
+        (18, 2), (18, 3), (18, 4),
+        (15, 2), (15, 3), (15, 4),
+        (10, 2), (10, 3), (10, 4),
+    ),
+    runs: int = 5,
+    base_seed: int = 0,
+) -> List[Tuple[str, SweepPoint]]:
+    """Figure 12: vary home/consolidation host counts at a fixed 900 VMs.
+
+    The total VM population stays constant, so the per-host VM count (and
+    the hosts' memory capacity, which scales with it) changes with the
+    number of home hosts — e.g. 20 home hosts means 45 VMs per host.
+    """
+    total_vms = config.total_vms
+    rows: List[Tuple[str, SweepPoint]] = []
+    for home_hosts, consolidation_hosts in shapes:
+        if total_vms % home_hosts != 0:
+            raise ConfigError(
+                f"{total_vms} VMs do not divide over {home_hosts} home hosts"
+            )
+        shaped = config.with_overrides(
+            home_hosts=home_hosts,
+            consolidation_hosts=consolidation_hosts,
+            vms_per_host=total_vms // home_hosts,
+            host_capacity_mib=None,
+        )
+        label = f"{home_hosts}+{consolidation_hosts}"
+        point = average_savings(
+            shaped, policy, day_type, runs=runs, base_seed=base_seed,
+            label=label,
+        )
+        rows.append((label, point))
+    return rows

@@ -1,0 +1,91 @@
+"""Week-level projections.
+
+The paper evaluates single weekdays and weekend days.  Operators care
+about the bill, so this module composes the two into calendar-week
+figures: five independent weekday draws plus two weekend draws, with
+the energy totals (not the percentages) summed before the savings
+fraction is formed — percentages do not average across days of unequal
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.policies import PolicySpec
+from repro.errors import ConfigError
+from repro.farm.config import FarmConfig
+from repro.farm.metrics import FarmResult
+from repro.farm.simulation import simulate_day
+from repro.traces.model import DayType
+from repro.units import joules_to_wh
+
+
+@dataclass(frozen=True)
+class WeekReport:
+    """Energy totals of one simulated calendar week."""
+
+    weekday_results: List[FarmResult]
+    weekend_results: List[FarmResult]
+
+    def __post_init__(self) -> None:
+        if not self.weekday_results or not self.weekend_results:
+            raise ConfigError("a week needs both weekday and weekend runs")
+
+    @property
+    def managed_joules(self) -> float:
+        return sum(
+            result.energy.managed_joules
+            for result in self.weekday_results + self.weekend_results
+        )
+
+    @property
+    def baseline_joules(self) -> float:
+        return sum(
+            result.energy.baseline_joules
+            for result in self.weekday_results + self.weekend_results
+        )
+
+    @property
+    def savings_fraction(self) -> float:
+        """Weekly savings, formed from energy totals."""
+        return 1.0 - self.managed_joules / self.baseline_joules
+
+    @property
+    def saved_kwh(self) -> float:
+        return joules_to_wh(self.baseline_joules - self.managed_joules) / 1000.0
+
+    def projected_annual_kwh(self) -> float:
+        """52 weeks of the measured week."""
+        return self.saved_kwh * 52.0
+
+    def __str__(self) -> str:
+        return (
+            f"week: {self.savings_fraction:.1%} saved "
+            f"({self.saved_kwh:.1f} kWh; "
+            f"~{self.projected_annual_kwh():.0f} kWh/year)"
+        )
+
+
+def simulate_week(
+    config: FarmConfig,
+    policy: PolicySpec,
+    seed: int = 0,
+    weekdays: int = 5,
+    weekend_days: int = 2,
+) -> WeekReport:
+    """Simulate one calendar week: independent trace draws per day."""
+    if weekdays < 1 or weekend_days < 1:
+        raise ConfigError("a week needs at least one day of each type")
+    weekday_results = [
+        simulate_day(config, policy, DayType.WEEKDAY, seed=seed * 100 + index)
+        for index in range(weekdays)
+    ]
+    weekend_results = [
+        simulate_day(
+            config, policy, DayType.WEEKEND, seed=seed * 100 + 50 + index
+        )
+        for index in range(weekend_days)
+    ]
+    return WeekReport(weekday_results, weekend_results)

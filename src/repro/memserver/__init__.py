@@ -1,0 +1,39 @@
+"""The low-power memory page server (§3.3, §4.3).
+
+Oasis pairs each compute host with a low-power memory server (the
+prototype: an Atom platform plus a dual-mounted SAS drive) so the host
+can sleep while its consolidated partial VMs keep faulting pages in.
+
+This package provides:
+
+* a from-scratch LZ77/RLE page codec standing in for LZO (§4.3 compresses
+  every page before it is written to the memory image);
+* synthetic page-content generation with controllable compressibility;
+* a real page store (compressed pages keyed by pseudo-physical frame
+  number) plus dirty tracking for differential uploads;
+* link models for the SAS upload path and the Ethernet page channel;
+* the page-service daemon model with its request latency budget.
+"""
+
+from repro.memserver.compression import Lz77Codec, compress, decompress
+from repro.memserver.pages import PageKind, SyntheticPageFactory, PageClassMix
+from repro.memserver.store import PageStore, UploadReceipt
+from repro.memserver.link import TransferLink, SAS_LINK, GIGE_LINK, TEN_GIGE_LINK
+from repro.memserver.server import MemoryServer, PageServiceModel
+
+__all__ = [
+    "Lz77Codec",
+    "compress",
+    "decompress",
+    "PageKind",
+    "SyntheticPageFactory",
+    "PageClassMix",
+    "PageStore",
+    "UploadReceipt",
+    "TransferLink",
+    "SAS_LINK",
+    "GIGE_LINK",
+    "TEN_GIGE_LINK",
+    "MemoryServer",
+    "PageServiceModel",
+]

@@ -1,0 +1,173 @@
+"""A from-scratch LZ77 byte codec (the LZO stand-in).
+
+The paper compresses every page with the LZO real-time library before
+writing it to the memory image (§4.3).  LZO itself is proprietaryish C;
+what the system needs from it is a fast, lossless, byte-oriented
+dictionary coder.  This module implements one with a deliberately simple
+wire format:
+
+* control byte ``0x00-0x7F`` — a literal run of ``control + 1`` bytes
+  follows verbatim (1..128 bytes);
+* control byte ``0x80-0xFF`` — a back-reference: match length is
+  ``(control & 0x7F) + MIN_MATCH`` (3..130 bytes) and the next two bytes
+  hold the little-endian distance (1..65535) back into the output.
+
+Matches may overlap the output cursor (distance < length), which encodes
+runs — the RLE case — for free.  Greedy parsing with a bounded hash
+chain keeps compression O(n) per page.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import CompressionError
+
+#: Shortest back-reference worth encoding (a match token costs 3 bytes).
+MIN_MATCH = 3
+#: Longest match a single token can encode.
+MAX_MATCH = MIN_MATCH + 0x7F
+#: Longest literal run a single token can encode.
+MAX_LITERAL_RUN = 0x80
+#: Largest back-reference distance (two-byte field, zero is illegal).
+MAX_DISTANCE = 0xFFFF
+
+
+class Lz77Codec:
+    """Greedy LZ77 with a bounded hash chain.
+
+    ``chain_limit`` bounds how many candidate positions are tried per
+    3-byte prefix; higher values trade speed for ratio.
+    """
+
+    def __init__(self, chain_limit: int = 16) -> None:
+        if chain_limit < 1:
+            raise CompressionError("chain_limit must be >= 1")
+        self.chain_limit = chain_limit
+
+    # -- compression -------------------------------------------------------
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data``; round-trips exactly through :meth:`decompress`."""
+        length = len(data)
+        if length == 0:
+            return b""
+        out = bytearray()
+        literals = bytearray()
+        table: Dict[bytes, List[int]] = {}
+        position = 0
+        while position < length:
+            match_length, match_distance = self._find_match(
+                data, position, table
+            )
+            if match_length >= MIN_MATCH:
+                self._flush_literals(out, literals)
+                out.append(0x80 | (match_length - MIN_MATCH))
+                out.append(match_distance & 0xFF)
+                out.append((match_distance >> 8) & 0xFF)
+                end = position + match_length
+                while position < end:
+                    self._index(data, position, table)
+                    position += 1
+            else:
+                literals.append(data[position])
+                self._index(data, position, table)
+                position += 1
+        self._flush_literals(out, literals)
+        return bytes(out)
+
+    def _find_match(self, data: bytes, position: int, table):
+        """Best (length, distance) match at ``position``; (0, 0) if none."""
+        if position + MIN_MATCH > len(data):
+            return 0, 0
+        key = data[position : position + MIN_MATCH]
+        candidates = table.get(key)
+        if not candidates:
+            return 0, 0
+        best_length = 0
+        best_distance = 0
+        limit = min(len(data) - position, MAX_MATCH)
+        for candidate in reversed(candidates):
+            distance = position - candidate
+            if distance > MAX_DISTANCE:
+                break
+            match_length = 0
+            while (
+                match_length < limit
+                and data[candidate + match_length] == data[position + match_length]
+            ):
+                match_length += 1
+            if match_length > best_length:
+                best_length = match_length
+                best_distance = distance
+                if best_length == limit:
+                    break
+        return best_length, best_distance
+
+    def _index(self, data: bytes, position: int, table) -> None:
+        if position + MIN_MATCH > len(data):
+            return
+        key = data[position : position + MIN_MATCH]
+        chain = table.get(key)
+        if chain is None:
+            table[key] = [position]
+        else:
+            chain.append(position)
+            if len(chain) > self.chain_limit:
+                del chain[0]
+
+    @staticmethod
+    def _flush_literals(out: bytearray, literals: bytearray) -> None:
+        offset = 0
+        while offset < len(literals):
+            run = literals[offset : offset + MAX_LITERAL_RUN]
+            out.append(len(run) - 1)
+            out.extend(run)
+            offset += len(run)
+        literals.clear()
+
+    # -- decompression --------------------------------------------------------
+
+    @staticmethod
+    def decompress(blob: bytes) -> bytes:
+        """Inverse of :meth:`compress`; validates the token stream."""
+        out = bytearray()
+        position = 0
+        length = len(blob)
+        while position < length:
+            control = blob[position]
+            position += 1
+            if control < 0x80:
+                run = control + 1
+                if position + run > length:
+                    raise CompressionError("truncated literal run")
+                out.extend(blob[position : position + run])
+                position += run
+            else:
+                if position + 2 > length:
+                    raise CompressionError("truncated match token")
+                match_length = (control & 0x7F) + MIN_MATCH
+                distance = blob[position] | (blob[position + 1] << 8)
+                position += 2
+                if distance == 0 or distance > len(out):
+                    raise CompressionError(
+                        f"match distance {distance} outside output "
+                        f"({len(out)} bytes so far)"
+                    )
+                start = len(out) - distance
+                for offset in range(match_length):
+                    out.append(out[start + offset])
+        return bytes(out)
+
+
+_DEFAULT_CODEC = Lz77Codec()
+
+
+def compress(data: bytes) -> bytes:
+    """Compress with the default codec."""
+    return _DEFAULT_CODEC.compress(data)
+
+
+def decompress(blob: bytes) -> bytes:
+    """Decompress with the default codec."""
+    return Lz77Codec.decompress(blob)

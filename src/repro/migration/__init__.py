@@ -1,0 +1,32 @@
+"""VM migration machinery.
+
+Three migration mechanisms (§2, §4.2):
+
+* **pre-copy live migration** — iterative full-image copy; what Oasis
+  uses for active VMs because it degrades the workload least;
+* **post-copy live migration** — modeled for completeness/ablations;
+* **partial migration** — suspend, upload memory to the memory server,
+  push the descriptor, fault pages on demand; plus **reintegration**
+  (dirty pages return to the home's full image).
+
+The cluster simulation consumes the scalar :class:`MigrationCostModel`
+(the constants of §5.1); the prototype micro-benchmarks use the detailed
+pre-copy/partial pipelines.
+"""
+
+from repro.migration.costs import MigrationCostModel
+from repro.migration.traffic import TrafficCategory, TrafficLedger
+from repro.migration.precopy import PreCopyModel, PreCopyResult
+from repro.migration.postcopy import PostCopyModel, PostCopyResult
+from repro.migration.scheduler import HostBusyScheduler
+
+__all__ = [
+    "MigrationCostModel",
+    "TrafficCategory",
+    "TrafficLedger",
+    "PreCopyModel",
+    "PreCopyResult",
+    "PostCopyModel",
+    "PostCopyResult",
+    "HostBusyScheduler",
+]

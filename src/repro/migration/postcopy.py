@@ -1,0 +1,84 @@
+"""Post-copy live migration model (Hines & Gopalan [11]).
+
+Post-copy suspends the VM immediately, ships only the execution context,
+and resumes at the destination; memory is pushed in the background while
+missing pages fault in over the network.  Oasis does *not* use post-copy
+for active VMs (pre-copy degrades them less, §3.1) — this model exists
+for the background discussion and for ablation benches comparing the
+mechanisms, and because partial migration is post-copy's demand-fetch
+half without the background push.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, MigrationError
+from repro.memserver.link import GIGE_LINK, TransferLink
+
+
+@dataclass(frozen=True)
+class PostCopyResult:
+    """Outcome of one modeled post-copy migration."""
+
+    #: VM pause before it resumes at the destination (context transfer).
+    downtime_s: float
+    #: Time until the full image is resident at the destination.
+    completion_s: float
+    #: Total bytes moved (full image + descriptor; faulted pages are part
+    #: of the image push in this model, not extra volume).
+    transferred_mib: float
+    #: Number of demand faults serviced before the push caught up.
+    demand_faults: int
+    #: Mean stall per demand fault, seconds.
+    mean_fault_stall_s: float
+
+
+@dataclass(frozen=True)
+class PostCopyModel:
+    """Parameters of the post-copy protocol."""
+
+    link: TransferLink = GIGE_LINK
+    #: Execution context + device state shipped before resume.
+    context_mib: float = 8.0
+    #: Round-trip latency of one remote page fault.
+    fault_rtt_s: float = 0.0008
+    #: Fraction of the working set the VM touches before the background
+    #: push delivers it (adaptive pre-paging shrinks this; 1.0 = naive).
+    prepaging_miss_factor: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.context_mib <= 0.0:
+            raise ConfigError("context_mib must be positive")
+        if self.fault_rtt_s < 0.0:
+            raise ConfigError("fault_rtt_s must be non-negative")
+        if not 0.0 <= self.prepaging_miss_factor <= 1.0:
+            raise ConfigError("prepaging_miss_factor must be in [0, 1]")
+
+    def migrate(
+        self, memory_mib: float, working_set_mib: float
+    ) -> PostCopyResult:
+        """Model one post-copy migration.
+
+        ``working_set_mib`` is the memory the VM actively touches while
+        the push is in flight; a fraction of it (``prepaging_miss_factor``)
+        misses and stalls on network faults.
+        """
+        if memory_mib <= 0.0:
+            raise MigrationError("memory size must be positive")
+        if not 0.0 <= working_set_mib <= memory_mib:
+            raise MigrationError("working set must be within the allocation")
+        bandwidth = self.link.bandwidth_mib_per_s
+        downtime = self.link.transfer_s(self.context_mib)
+        push_s = memory_mib / bandwidth
+        missed_mib = working_set_mib * self.prepaging_miss_factor
+        faults = int(missed_mib * 256)  # 4 KiB pages per MiB
+        mean_stall = self.fault_rtt_s
+        completion = downtime + push_s + faults * self.fault_rtt_s
+        return PostCopyResult(
+            downtime_s=downtime,
+            completion_s=completion,
+            transferred_mib=memory_mib + self.context_mib,
+            demand_faults=faults,
+            mean_fault_stall_s=mean_stall,
+        )

@@ -1,0 +1,101 @@
+"""Pre-copy live migration model (Clark et al. [6]).
+
+Pre-copy iteratively copies memory while the VM keeps running at the
+source: round one sends the whole image; each later round resends pages
+dirtied during the previous round.  When the residual dirty set is small
+enough (or the round budget is exhausted), the VM is paused and the rest
+is copied in one stop-and-copy step.
+
+With a constant dirty rate ``d`` (MiB/s) and link bandwidth ``b``, round
+``k`` transfers ``M * (d/b)^k`` — a geometric series, convergent while
+``d < b``.  Idle desktop VMs dirty slowly, so the model lands close to
+``M/b`` plus protocol overhead, matching the prototype's measured 41 s
+for a 4 GiB VM over GigE (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigError, MigrationError
+from repro.memserver.link import GIGE_LINK, TransferLink
+
+
+@dataclass(frozen=True)
+class PreCopyResult:
+    """Outcome of one modeled pre-copy migration."""
+
+    total_s: float
+    downtime_s: float
+    transferred_mib: float
+    rounds: List[float]  # MiB sent per iterative round (excl. stop-and-copy)
+    stop_and_copy_mib: float
+
+    @property
+    def round_count(self) -> int:
+        return len(self.rounds)
+
+
+@dataclass(frozen=True)
+class PreCopyModel:
+    """Parameters of the pre-copy protocol."""
+
+    link: TransferLink = GIGE_LINK
+    #: Stop iterating once the dirty residue falls below this.
+    stop_threshold_mib: float = 64.0
+    #: Upper bound on iterative rounds before forcing stop-and-copy.
+    max_rounds: int = 8
+    #: Fixed protocol overhead: connection setup, device state, page-table
+    #: rewrites at the destination.
+    setup_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.stop_threshold_mib <= 0.0:
+            raise ConfigError("stop_threshold_mib must be positive")
+        if self.max_rounds < 1:
+            raise ConfigError("max_rounds must be >= 1")
+        if self.setup_s < 0.0:
+            raise ConfigError("setup_s must be non-negative")
+
+    def migrate(self, memory_mib: float, dirty_rate_mib_s: float) -> PreCopyResult:
+        """Model one migration of ``memory_mib`` at the given dirty rate."""
+        if memory_mib <= 0.0:
+            raise MigrationError("memory size must be positive")
+        if dirty_rate_mib_s < 0.0:
+            raise MigrationError("dirty rate must be non-negative")
+        bandwidth = self.link.bandwidth_mib_per_s
+        if dirty_rate_mib_s >= bandwidth:
+            # Divergent: every round redirties faster than we copy.  Force
+            # a single round then stop-and-copy the whole dirty set.
+            first_round_s = memory_mib / bandwidth
+            dirty = min(memory_mib, dirty_rate_mib_s * first_round_s)
+            downtime = dirty / bandwidth
+            total = self.setup_s + first_round_s + downtime
+            return PreCopyResult(
+                total_s=total,
+                downtime_s=downtime,
+                transferred_mib=memory_mib + dirty,
+                rounds=[memory_mib],
+                stop_and_copy_mib=dirty,
+            )
+
+        rounds: List[float] = []
+        to_send = memory_mib
+        elapsed = 0.0
+        for _ in range(self.max_rounds):
+            rounds.append(to_send)
+            round_s = to_send / bandwidth
+            elapsed += round_s
+            to_send = min(memory_mib, dirty_rate_mib_s * round_s)
+            if to_send <= self.stop_threshold_mib:
+                break
+        downtime = to_send / bandwidth
+        total = self.setup_s + elapsed + downtime
+        return PreCopyResult(
+            total_s=total,
+            downtime_s=downtime,
+            transferred_mib=sum(rounds) + to_send,
+            rounds=rounds,
+            stop_and_copy_mib=to_send,
+        )

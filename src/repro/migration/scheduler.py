@@ -1,0 +1,102 @@
+"""Per-host serialization of migration work.
+
+Each host has a bottleneck resource per migration direction: the SAS
+path to its memory server serializes partial-migration uploads out of a
+home host, and the NIC serializes bulk image transfers.  Migrations
+pipeline, so what serializes is each operation's *occupancy* of the
+bottleneck (upload time, wire time), which is much shorter than its
+end-to-end *latency* (which includes destination-side VM creation,
+resume handshakes, and protocol round trips).
+
+The scheduler therefore tracks two horizons per host:
+
+* ``busy_until`` — when the bottleneck frees up; the next operation on
+  this host starts then.  Queueing on this horizon is what produces
+  resume-storm delays (the Figure 11 tail).
+* ``release_after`` — when the last operation's full latency completes;
+  a host must not power down before this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Tuple
+
+from repro.errors import SimulationError
+
+
+class HostBusyScheduler:
+    """Tracks per-host busy/release horizons and serializes operations."""
+
+    def __init__(self) -> None:
+        self._busy_until: Dict[Hashable, float] = {}
+        self._release_after: Dict[Hashable, float] = {}
+
+    def busy_until(self, host_id: Hashable) -> float:
+        """Time at which ``host_id``'s bottleneck frees up (0 if idle)."""
+        return self._busy_until.get(host_id, 0.0)
+
+    def release_after(self, host_id: Hashable) -> float:
+        """Time after which no operation involving ``host_id`` is still
+        in flight (safe to power down)."""
+        return max(
+            self._release_after.get(host_id, 0.0),
+            self._busy_until.get(host_id, 0.0),
+        )
+
+    def earliest_start(self, host_ids: Iterable[Hashable], now: float) -> float:
+        """Earliest time an operation involving ``host_ids`` can start."""
+        start = now
+        for host_id in host_ids:
+            horizon = self._busy_until.get(host_id, 0.0)
+            if horizon > start:
+                start = horizon
+        return start
+
+    def reserve(
+        self,
+        host_ids: Iterable[Hashable],
+        now: float,
+        latency_s: float,
+        occupancy_s: float = None,
+        not_before: float = 0.0,
+    ) -> Tuple[float, float]:
+        """Queue an operation on all ``host_ids``; returns (start, end).
+
+        The operation starts once every involved host's bottleneck is
+        free — and no earlier than ``not_before`` (e.g. a VM still in
+        flight from a previous migration).  It completes (``end``) after
+        ``latency_s``; the hosts' bottlenecks are occupied for
+        ``occupancy_s`` (defaults to the full latency).
+        """
+        if latency_s < 0.0:
+            raise SimulationError(f"latency must be >= 0, got {latency_s}")
+        if occupancy_s is None:
+            occupancy_s = latency_s
+        if occupancy_s < 0.0:
+            raise SimulationError(f"occupancy must be >= 0, got {occupancy_s}")
+        ids = list(host_ids)
+        start = self.earliest_start(ids, max(now, not_before))
+        end = start + latency_s
+        busy_end = start + occupancy_s
+        for host_id in ids:
+            self._busy_until[host_id] = busy_end
+            if end > self._release_after.get(host_id, 0.0):
+                self._release_after[host_id] = end
+        return start, end
+
+    def extend(self, host_id: Hashable, until: float) -> None:
+        """Push a host's busy horizon to at least ``until`` (e.g. while it
+        completes a power transition)."""
+        if until > self._busy_until.get(host_id, 0.0):
+            self._busy_until[host_id] = until
+
+    def clear_before(self, time: float) -> None:
+        """Drop horizons that already passed (bookkeeping hygiene)."""
+        for horizons in (self._busy_until, self._release_after):
+            expired = [
+                host_id
+                for host_id, horizon in horizons.items()
+                if horizon <= time
+            ]
+            for host_id in expired:
+                del horizons[host_id]

@@ -1,0 +1,113 @@
+"""Network-traffic accounting (Figure 10).
+
+Every byte a migration moves is attributed to a category.  The SAS
+memory-upload path is tracked too, but flagged local: the paper notes the
+shared drive keeps upload traffic off the datacenter network (§4.3), so
+Figure 10's breakdown excludes it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from repro.errors import ConfigError
+
+
+class TrafficCategory(enum.Enum):
+    """Where migration bytes travel and why."""
+
+    #: Live migration of a full VM image (network).
+    FULL_MIGRATION = "full_migration"
+    #: Partial-VM descriptor push to the consolidation host (network).
+    PARTIAL_DESCRIPTOR = "partial_descriptor"
+    #: Pages demand-faulted by partial VMs (network).
+    ON_DEMAND_PAGES = "on_demand_pages"
+    #: Dirty state pushed home at reintegration (network).
+    REINTEGRATION = "reintegration"
+    #: Remaining image pulled when a partial VM converts to full in place
+    #: (network).
+    CONVERSION_PULL = "conversion_pull"
+    #: Compressed memory image written to the memory server (local SAS).
+    MEMORY_UPLOAD_SAS = "memory_upload_sas"
+
+    @property
+    def is_network(self) -> bool:
+        """True when the bytes cross the datacenter network."""
+        return self is not TrafficCategory.MEMORY_UPLOAD_SAS
+
+    @property
+    def is_partial_path(self) -> bool:
+        """True for categories caused by the partial-migration mechanism."""
+        return self in (
+            TrafficCategory.PARTIAL_DESCRIPTOR,
+            TrafficCategory.ON_DEMAND_PAGES,
+            TrafficCategory.REINTEGRATION,
+            TrafficCategory.MEMORY_UPLOAD_SAS,
+        )
+
+
+class TrafficLedger:
+    """Accumulates transfer volume (MiB) and event counts per category."""
+
+    def __init__(self) -> None:
+        self._mib: Dict[TrafficCategory, float] = {
+            category: 0.0 for category in TrafficCategory
+        }
+        self._events: Dict[TrafficCategory, int] = {
+            category: 0 for category in TrafficCategory
+        }
+
+    def add(self, category: TrafficCategory, mib: float) -> None:
+        """Record one transfer of ``mib`` MiB."""
+        if mib < 0.0:
+            raise ConfigError(f"traffic must be non-negative, got {mib}")
+        self._mib[category] += mib
+        self._events[category] += 1
+
+    def mib(self, category: TrafficCategory) -> float:
+        return self._mib[category]
+
+    def events(self, category: TrafficCategory) -> int:
+        return self._events[category]
+
+    def network_total_mib(self) -> float:
+        """All bytes that crossed the datacenter network."""
+        return sum(
+            volume
+            for category, volume in self._mib.items()
+            if category.is_network
+        )
+
+    def full_path_mib(self) -> float:
+        """Traffic attributable to full migrations (incl. conversions)."""
+        return (
+            self._mib[TrafficCategory.FULL_MIGRATION]
+            + self._mib[TrafficCategory.CONVERSION_PULL]
+        )
+
+    def partial_path_mib(self) -> float:
+        """Network traffic attributable to the partial-migration path."""
+        return sum(
+            volume
+            for category, volume in self._mib.items()
+            if category.is_partial_path and category.is_network
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Volumes per category, keyed by category value (for reports)."""
+        return {category.value: volume for category, volume in self._mib.items()}
+
+    def merge(self, other: "TrafficLedger") -> None:
+        """Fold another ledger's volumes and counts into this one."""
+        for category in TrafficCategory:
+            self._mib[category] += other._mib[category]
+            self._events[category] += other._events[category]
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{category.value}={volume:.0f}"
+            for category, volume in self._mib.items()
+            if volume > 0.0
+        )
+        return f"<TrafficLedger MiB: {parts or 'empty'}>"

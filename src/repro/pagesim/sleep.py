@@ -1,0 +1,119 @@
+"""Sleep-opportunity analysis (Figure 2).
+
+Without a low-power memory server, the home host itself must wake for
+every page request: the desktop-era design (Jettison) resumes the host,
+serves the request, and suspends again.  Given a request stream and the
+host's transition times (Table 1: suspend 3.1 s, resume 2.3 s), this
+module computes how much of the horizon the host can actually spend
+asleep — which collapses once gaps approach the transition round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.energy.profile import HostPowerProfile
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SleepPolicy:
+    """How eagerly the host sleeps between requests."""
+
+    #: Time the host stays awake after serving a request before it
+    #: suspends again (covers request batching and OS settle time).
+    linger_s: float = 1.0
+    host: HostPowerProfile = HostPowerProfile()
+
+    def __post_init__(self) -> None:
+        if self.linger_s < 0.0:
+            raise ConfigError("linger must be non-negative")
+
+    @property
+    def minimum_useful_gap_s(self) -> float:
+        """Shortest request gap that allows any sleep at all."""
+        return self.linger_s + self.host.suspend_s + self.host.resume_s
+
+
+@dataclass(frozen=True)
+class SleepAnalysis:
+    """Outcome of analysing one request stream."""
+
+    horizon_s: float
+    requests: int
+    mean_interarrival_s: float
+    sleep_s: float
+    transitions: int
+    host: HostPowerProfile = HostPowerProfile()
+
+    @property
+    def sleep_fraction(self) -> float:
+        return self.sleep_s / self.horizon_s
+
+    @property
+    def energy_saving_fraction(self) -> float:
+        """Energy saved versus staying idle-powered the whole horizon.
+
+        This is the number that collapses for co-located VMs: even when
+        some nominal sleep time remains between requests, each cycle
+        pays the suspend/resume transitions (which draw *more* than
+        idle), so frequent wake-ups erase — or invert — the savings.
+        """
+        host = self.host
+        baseline = host.idle_w * self.horizon_s
+        suspends = self.transitions / 2
+        actual = (
+            host.idle_w * (self.horizon_s - self.sleep_s
+                           - suspends * host.transition_round_trip_s)
+            + host.sleep_w * self.sleep_s
+            + suspends * (host.suspend_w * host.suspend_s
+                          + host.resume_w * host.resume_s)
+        )
+        return 1.0 - actual / baseline
+
+    def __str__(self) -> str:
+        return (
+            f"{self.requests} requests over {self.horizon_s:.0f} s "
+            f"(mean gap {self.mean_interarrival_s:.1f} s) -> "
+            f"sleep {self.sleep_fraction:.1%}, {self.transitions} "
+            f"transitions, energy saving {self.energy_saving_fraction:.1%}"
+        )
+
+
+def analyze_sleep(
+    request_times: List[float],
+    horizon_s: float,
+    policy: SleepPolicy = SleepPolicy(),
+) -> SleepAnalysis:
+    """Compute achievable sleep for a host that wakes per request.
+
+    The host must be awake at each request instant.  In a gap ``g``
+    between servicing one request and the next, it can sleep for
+    ``g - linger - suspend - resume`` seconds (never negative).
+    """
+    if horizon_s <= 0.0:
+        raise ConfigError("horizon must be positive")
+    times = sorted(t for t in request_times if 0.0 <= t <= horizon_s)
+    overhead = policy.minimum_useful_gap_s
+    sleep_s = 0.0
+    transitions = 0
+    previous = 0.0
+    for t in times + [horizon_s]:
+        gap = t - previous
+        if gap > overhead:
+            sleep_s += gap - overhead
+            transitions += 2  # one suspend + one resume
+        previous = t
+    if len(times) >= 2:
+        mean_gap = (times[-1] - times[0]) / (len(times) - 1)
+    else:
+        mean_gap = horizon_s
+    return SleepAnalysis(
+        horizon_s=horizon_s,
+        requests=len(times),
+        mean_interarrival_s=mean_gap,
+        sleep_s=sleep_s,
+        transitions=transitions,
+        host=policy.host,
+    )

@@ -1,0 +1,39 @@
+"""The prototype layer: page-granular models behind §4's micro-benchmarks.
+
+Where :mod:`repro.farm` consumes scalar migration costs, this package
+derives those costs from first principles — page counts, link rates,
+compression ratios, per-fault latency budgets — mirroring the paper's
+two-server prototype:
+
+* :mod:`repro.prototype.image` — statistical model of a primed desktop
+  VM's memory image (what gets uploaded, what is dirty);
+* :mod:`repro.prototype.memtap` — the real page-fault service path at
+  small scale: absent page tables, fault, fetch, decompress, install;
+* :mod:`repro.prototype.microbench` — Figure 5 consolidation latencies
+  and §4.4.3 network traffic;
+* :mod:`repro.prototype.apps` — Figure 6 application start-up latency;
+* :mod:`repro.prototype.powermeter` — Table 1 energy profiles.
+"""
+
+from repro.prototype.image import VmImageModel
+from repro.prototype.memtap import Memtap, PartialVmMemory
+from repro.prototype.microbench import (
+    ConsolidationMicrobench,
+    MicrobenchConfig,
+    MicrobenchReport,
+)
+from repro.prototype.apps import startup_latency_table, StartupLatency
+from repro.prototype.powermeter import measure_energy_profiles, PowerReading
+
+__all__ = [
+    "VmImageModel",
+    "Memtap",
+    "PartialVmMemory",
+    "ConsolidationMicrobench",
+    "MicrobenchConfig",
+    "MicrobenchReport",
+    "startup_latency_table",
+    "StartupLatency",
+    "measure_energy_profiles",
+    "PowerReading",
+]

@@ -1,0 +1,75 @@
+"""Application start-up latency in partial vs full VMs (Figure 6).
+
+A full VM starts an application from memory-resident state; a partial VM
+must demand-fault every page the start-up path touches, paying the
+memory server's per-fault budget (~4 ms: network round trip, a random
+read from the prototype's spinning SAS drive, Atom-class decompression).
+With start-up footprints of tens to hundreds of MiB, applications start
+one to two orders of magnitude slower — LibreOffice's 164 MiB footprint
+takes ~168 s, 111x its memory-resident latency, while pre-fetching the
+*entire* remaining VM image takes only the 41 s of a full migration.
+This asymmetry is why every policy converts activating partial VMs to
+full ones (§4.4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.memserver.server import PageServiceModel
+from repro.prototype.microbench import ConsolidationMicrobench
+from repro.vm.workload import APPLICATION_CATALOG, Application
+
+
+@dataclass(frozen=True)
+class StartupLatency:
+    """Figure 6 data for one application."""
+
+    application: str
+    full_vm_s: float
+    partial_vm_s: float
+
+    @property
+    def slowdown(self) -> float:
+        return self.partial_vm_s / self.full_vm_s
+
+
+def startup_latency(
+    app: Application, service: Optional[PageServiceModel] = None
+) -> StartupLatency:
+    """Model one application's start-up in a full vs a partial VM.
+
+    In the partial VM, the start-up path's footprint faults in page by
+    page on top of the CPU-bound work the full VM also does.
+    """
+    if service is None:
+        service = PageServiceModel()
+    fetch_s = service.fetch_time_for_mib(app.startup_footprint_mib)
+    return StartupLatency(
+        application=app.name,
+        full_vm_s=app.full_start_s,
+        partial_vm_s=app.full_start_s + fetch_s,
+    )
+
+
+def startup_latency_table(
+    service: Optional[PageServiceModel] = None,
+    application_keys: Optional[List[str]] = None,
+) -> Dict[str, StartupLatency]:
+    """Figure 6: start-up latencies for the Table 2 applications."""
+    keys = (
+        application_keys
+        if application_keys is not None
+        else sorted(APPLICATION_CATALOG)
+    )
+    return {
+        key: startup_latency(APPLICATION_CATALOG[key], service)
+        for key in keys
+    }
+
+
+def prefetch_alternative_s() -> float:
+    """The comparison point Figure 6 quotes: pre-fetching the VM's whole
+    remaining state (a full migration) instead of demand-faulting."""
+    return ConsolidationMicrobench().run().full_migration_s

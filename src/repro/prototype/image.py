@@ -1,0 +1,100 @@
+"""Statistical model of a primed desktop VM's memory image.
+
+Materializing 4 GiB of page bytes in pure Python is wasteful when only
+sizes matter, so this model tracks the image as *used* memory (OS base
+plus each loaded application's resident set, with the measured desktop
+page-class mix) and *untouched* memory (zero pages).  Per-class
+compression ratios come from the real LZ77 codec, measured on synthetic
+pages and asserted by the test suite, so the statistical path and the
+byte-level path (:mod:`repro.prototype.memtap`) stay consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigError
+from repro.memserver.pages import DESKTOP_USED_MIX, PageClassMix
+from repro.units import DEFAULT_VM_MEMORY_MIB, PAGES_PER_MIB
+from repro.vm.workload import Workload
+
+
+@dataclass
+class VmImageModel:
+    """One VM memory image as upload-relevant statistics."""
+
+    total_mib: float = DEFAULT_VM_MEMORY_MIB
+    #: Guest OS, daemons, and page-cache floor, before any workload.
+    os_base_mib: float = 500.0
+    used_mix: PageClassMix = field(default_factory=lambda: DESKTOP_USED_MIX)
+    workloads: List[Workload] = field(default_factory=list)
+    #: Memory dirtied since the last upload to the memory server, raw MiB.
+    dirty_mib: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_mib <= 0.0 or self.os_base_mib < 0.0:
+            raise ConfigError("image sizes must be positive")
+        if self.used_mib > self.total_mib:
+            raise ConfigError("used memory exceeds the allocation")
+        # A fresh image has never been uploaded: everything used is dirty.
+        self.dirty_mib = self.used_mib
+
+    # -- composition ------------------------------------------------------
+
+    @property
+    def used_mib(self) -> float:
+        """Touched (non-zero) memory: OS base plus loaded workloads."""
+        return self.os_base_mib + sum(
+            workload.resident_mib for workload in self.workloads
+        )
+
+    @property
+    def zero_mib(self) -> float:
+        """Untouched pages (compress to almost nothing)."""
+        return self.total_mib - self.used_mib
+
+    @property
+    def total_pages(self) -> int:
+        return int(self.total_mib * PAGES_PER_MIB)
+
+    def load_workload(self, workload: Workload, dirty_fraction: float = 1.0):
+        """Run a workload in the VM: its resident set becomes used memory
+        and ``dirty_fraction`` of it is newly dirty versus the last
+        upload (some pages land on recycled buffers already uploaded)."""
+        if not 0.0 <= dirty_fraction <= 1.0:
+            raise ConfigError("dirty_fraction must be in [0, 1]")
+        if self.used_mib + workload.resident_mib > self.total_mib:
+            raise ConfigError(
+                f"loading {workload.name} would exceed the allocation"
+            )
+        self.workloads.append(workload)
+        self.dirty_mib += workload.resident_mib * dirty_fraction
+
+    def dirty(self, mib: float) -> None:
+        """Mark ``mib`` of already-used memory dirty (e.g. reintegrated
+        state from a consolidation episode)."""
+        if mib < 0.0:
+            raise ConfigError("dirty amount must be >= 0")
+        self.dirty_mib = min(self.dirty_mib + mib, self.used_mib)
+
+    # -- upload sizes ---------------------------------------------------------
+
+    def compressed_used_mib(self) -> float:
+        """Compressed size of the full used image (first upload)."""
+        return self.used_mix.compressed_mib(self.used_mib)
+
+    def compressed_dirty_mib(self) -> float:
+        """Compressed size of a differential upload (dirty pages only)."""
+        return self.used_mix.compressed_mib(self.dirty_mib)
+
+    def mark_uploaded(self) -> None:
+        """The memory server now holds a clean copy: nothing is dirty."""
+        self.dirty_mib = 0.0
+
+    def descriptor_mib(self) -> float:
+        """VM descriptor pushed at partial migration: page tables (8 bytes
+        per page entry over the whole allocation) plus execution context,
+        device state, and configuration (~8 MiB)."""
+        page_tables = self.total_pages * 8.0 / (1024.0 * 1024.0)
+        return page_tables + 8.0

@@ -1,0 +1,130 @@
+"""The memtap page-fault service path, end to end and for real (§4.2).
+
+A partial VM starts with page-table entries marked *absent*; touching an
+absent page traps into the hypervisor, which notifies the VM's memtap
+process; memtap requests the compressed page from the memory server,
+decompresses it, installs it into a frame (frames are allocated in 2 MiB
+chunks to limit heap fragmentation), and reschedules the vCPU.
+
+This module implements that pipeline with real bytes over the real
+:class:`~repro.memserver.store.PageStore` so tests can exercise the full
+compress → upload → fault → fetch → decompress → install loop at small
+VM sizes, and it accounts the same latency budget the analytical models
+use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.errors import MigrationError
+from repro.memserver.compression import Lz77Codec
+from repro.memserver.pages import PAGE_BYTES
+from repro.memserver.server import MemoryServer, PageServiceModel
+from repro.units import CHUNK_SIZE_MIB, PAGE_SIZE_KIB
+
+#: Pages per 2 MiB allocation chunk.
+PAGES_PER_CHUNK = int(CHUNK_SIZE_MIB * 1024.0 / PAGE_SIZE_KIB)
+
+
+@dataclass
+class PartialVmMemory:
+    """Guest-visible memory of a partial VM: mostly absent pages."""
+
+    vm_id: int
+    total_pages: int
+    present: Dict[int, bytes] = field(default_factory=dict)
+    dirty: Set[int] = field(default_factory=set)
+
+    def is_present(self, pfn: int) -> bool:
+        self._check_pfn(pfn)
+        return pfn in self.present
+
+    def read(self, pfn: int) -> Optional[bytes]:
+        """Read a page; None signals a fault the caller must service."""
+        self._check_pfn(pfn)
+        return self.present.get(pfn)
+
+    def install(self, pfn: int, data: bytes) -> None:
+        """Install a fetched page (memtap writes the decompressed frame)."""
+        self._check_pfn(pfn)
+        if len(data) != PAGE_BYTES:
+            raise MigrationError(
+                f"page {pfn}: expected {PAGE_BYTES} bytes, got {len(data)}"
+            )
+        self.present[pfn] = data
+
+    def write(self, pfn: int, data: bytes) -> None:
+        """Guest write: page must be present; marks it dirty."""
+        self._check_pfn(pfn)
+        if pfn not in self.present:
+            raise MigrationError(f"write to absent page {pfn}")
+        if len(data) != PAGE_BYTES:
+            raise MigrationError(
+                f"page {pfn}: expected {PAGE_BYTES} bytes, got {len(data)}"
+            )
+        self.present[pfn] = data
+        self.dirty.add(pfn)
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self.present)
+
+    @property
+    def allocated_chunks(self) -> int:
+        """2 MiB frame chunks backing the resident pages (§4.2)."""
+        chunks = {pfn // PAGES_PER_CHUNK for pfn in self.present}
+        return len(chunks)
+
+    def _check_pfn(self, pfn: int) -> None:
+        if not 0 <= pfn < self.total_pages:
+            raise MigrationError(
+                f"pfn {pfn} outside [0, {self.total_pages})"
+            )
+
+
+class Memtap:
+    """Per-VM fault handler fetching pages from one memory server."""
+
+    def __init__(
+        self,
+        memory: PartialVmMemory,
+        server: MemoryServer,
+        service: Optional[PageServiceModel] = None,
+    ) -> None:
+        self.memory = memory
+        self.server = server
+        self.service = service if service is not None else server.service
+        self.faults_served = 0
+        self.bytes_fetched = 0
+        self.time_spent_s = 0.0
+
+    def access(self, pfn: int) -> bytes:
+        """Guest read access: service a fault if the page is absent.
+
+        Returns the page contents; accumulates modeled fault latency in
+        :attr:`time_spent_s`.
+        """
+        data = self.memory.read(pfn)
+        if data is not None:
+            return data
+        blob = self.server.serve_page(self.memory.vm_id, pfn)
+        page = Lz77Codec.decompress(blob)
+        self.memory.install(pfn, page)
+        self.faults_served += 1
+        self.bytes_fetched += len(blob)
+        self.time_spent_s += self.service.per_fault_s
+        return page
+
+    def prefetch(self, pfns) -> int:
+        """Fault in a set of pages (e.g. converting to a full VM).
+
+        Returns the number of pages actually fetched.
+        """
+        fetched = 0
+        for pfn in pfns:
+            if not self.memory.is_present(pfn):
+                self.access(pfn)
+                fetched += 1
+        return fetched

@@ -1,0 +1,14 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: a monotonic clock, a binary-heap event
+queue with stable FIFO ordering for simultaneous events, cancellable event
+handles, and named deterministic random-number streams.  Both the VDI farm
+simulation (:mod:`repro.farm`) and the page-level prototype models
+(:mod:`repro.prototype`, :mod:`repro.pagesim`) run on this kernel.
+"""
+
+from repro.simulator.engine import Simulator
+from repro.simulator.events import EventHandle
+from repro.simulator.randomness import RngStreams
+
+__all__ = ["Simulator", "EventHandle", "RngStreams"]

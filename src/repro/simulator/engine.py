@@ -1,0 +1,151 @@
+"""The discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.simulator.events import EventHandle, ScheduledEvent
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event simulator.
+
+    Time starts at zero and only moves forward.  Callbacks scheduled for
+    the same instant run in the order they were scheduled.  Callbacks may
+    schedule further events (including at the current instant).
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, fired.append, "a")
+    >>> _ = sim.schedule(2.0, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    5.0
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[ScheduledEvent] = []
+        self._seq = 0
+        self._fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled events that have not fired or been cancelled."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._fired
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay runs the callback when
+        the simulator next drains the queue, after events already scheduled
+        for the current instant.
+        """
+        if delay < 0.0:
+            raise SimulationError(f"cannot schedule {delay} s in the past")
+        return self.schedule_at(self._now + delay, callback, *args, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f} s; clock is at {self._now:.6f} s"
+            )
+        event = ScheduledEvent(
+            time=time, seq=self._seq, callback=callback, args=args, label=label
+        )
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def step(self) -> bool:
+        """Fire the next pending event.
+
+        Returns ``True`` if an event fired, ``False`` if the queue was
+        empty (cancelled events are discarded silently).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._fired += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event queue drains.
+
+        ``max_events`` bounds the number of callbacks executed and guards
+        against runaway self-rescheduling loops; exceeding it raises
+        :class:`~repro.errors.SimulationError`.  Returns the number of
+        events fired by this call.
+        """
+        fired = 0
+        while self.step():
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; runaway event loop?"
+                )
+        return fired
+
+    def run_until(self, time: float) -> int:
+        """Run all events scheduled strictly up to and including ``time``.
+
+        The clock is left at ``time`` even if the last event fired earlier,
+        so power-accounting code can close intervals at the horizon.
+        Returns the number of events fired by this call.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot run until {time:.6f} s; clock is at {self._now:.6f} s"
+            )
+        fired = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > time:
+                break
+            self.step()
+            fired += 1
+        self._now = time
+        return fired
+
+    def advance(self, delay: float) -> int:
+        """Run events for the next ``delay`` seconds (see :meth:`run_until`)."""
+        return self.run_until(self._now + delay)
+
+    def __repr__(self) -> str:
+        return f"<Simulator t={self._now:.3f} pending={self.pending}>"

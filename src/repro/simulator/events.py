@@ -1,0 +1,65 @@
+"""Event records and handles for the discrete-event kernel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback scheduled at an absolute simulation time.
+
+    Events order by ``(time, seq)``; ``seq`` is a monotonically increasing
+    tie-breaker so that events scheduled for the same instant fire in FIFO
+    order.  The callback and its arguments do not participate in ordering.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: Tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+    label: str = field(compare=False, default="")
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`repro.simulator.Simulator.schedule`.
+
+    Holding a handle allows the caller to cancel the event before it fires
+    and to query whether it is still pending.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Absolute simulation time the event is scheduled for."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """Human-readable label given at scheduling time (may be empty)."""
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the event fired."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.
+
+        Cancelling an event that already fired (or was already cancelled)
+        is a no-op; the kernel skips cancelled entries lazily when they
+        reach the top of the heap.
+        """
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        label = f" {self.label!r}" if self.label else ""
+        return f"<EventHandle t={self.time:.3f}{label} {state}>"

@@ -1,0 +1,42 @@
+"""User activity traces.
+
+The paper drives its simulation with keyboard/mouse activity traces of 22
+researchers collected over four months (2086 user-days), resampled into
+5-minute active/idle intervals and aligned into single simulated days of
+900 users.  Those traces are not public, so this package provides:
+
+* :class:`~repro.traces.model.UserDayTrace` — one user-day as 288
+  five-minute active/idle intervals;
+* :class:`~repro.traces.generator.SyntheticTraceGenerator` — a calibrated
+  diurnal model that produces weekday and weekend user-days whose ensemble
+  statistics match everything the paper reports about its traces (peak
+  concurrency, diurnal shape, per-host all-idle fraction — see DESIGN.md);
+* ensemble sampling, aggregate statistics, and a simple file format so
+  real traces can be substituted if available.
+"""
+
+from repro.traces.model import DayType, UserDayTrace
+from repro.traces.generator import SyntheticTraceGenerator, TraceGeneratorConfig
+from repro.traces.sampler import TraceEnsemble, generate_ensemble
+from repro.traces.stats import EnsembleStats, compute_ensemble_stats
+from repro.traces.io import (
+    read_traces_csv,
+    read_traces_json,
+    write_traces_csv,
+    write_traces_json,
+)
+
+__all__ = [
+    "DayType",
+    "UserDayTrace",
+    "SyntheticTraceGenerator",
+    "TraceGeneratorConfig",
+    "TraceEnsemble",
+    "generate_ensemble",
+    "EnsembleStats",
+    "compute_ensemble_stats",
+    "read_traces_csv",
+    "read_traces_json",
+    "write_traces_csv",
+    "write_traces_json",
+]

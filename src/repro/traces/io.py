@@ -1,0 +1,123 @@
+"""Trace file I/O.
+
+Two interchangeable formats so real trace archives can be dropped in as
+a replacement for the synthetic generator:
+
+* **CSV** — one row per user-day:
+
+  .. code-block:: text
+
+      user_id,day_type,intervals
+      0,weekday,000011100...   # 288 characters of 0/1
+
+* **JSON** — ``{"traces": [{"user_id": 0, "day_type": "weekday",
+  "intervals": "000111..."}]}``.
+
+The ``intervals`` field is one character per 5-minute interval.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.errors import TraceFormatError
+from repro.traces.model import DayType, UserDayTrace
+from repro.traces.sampler import TraceEnsemble
+from repro.units import INTERVALS_PER_DAY
+
+_PathLike = Union[str, Path]
+
+
+def write_traces_csv(path: _PathLike, traces: List[UserDayTrace]) -> None:
+    """Write user-day traces to ``path`` in the CSV format above."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["user_id", "day_type", "intervals"])
+        for trace in traces:
+            bits = "".join("1" if active else "0" for active in trace.intervals)
+            writer.writerow([trace.user_id, trace.day_type.value, bits])
+
+
+def read_traces_csv(path: _PathLike) -> List[UserDayTrace]:
+    """Read user-day traces from a CSV file written by :func:`write_traces_csv`."""
+    traces: List[UserDayTrace] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"user_id", "day_type", "intervals"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise TraceFormatError(
+                f"{path}: header must contain columns {sorted(required)}"
+            )
+        for row_number, row in enumerate(reader, start=2):
+            traces.append(_parse_row(path, row_number, row))
+    return traces
+
+
+def read_ensemble_csv(path: _PathLike) -> TraceEnsemble:
+    """Read a CSV of traces that all share one day type, as an ensemble."""
+    traces = read_traces_csv(path)
+    if not traces:
+        raise TraceFormatError(f"{path}: no traces found")
+    day_type = traces[0].day_type
+    return TraceEnsemble(day_type, tuple(traces))
+
+
+def write_traces_json(path: _PathLike, traces: List[UserDayTrace]) -> None:
+    """Write user-day traces to ``path`` in the JSON format above."""
+    payload = {
+        "traces": [
+            {
+                "user_id": trace.user_id,
+                "day_type": trace.day_type.value,
+                "intervals": "".join(
+                    "1" if active else "0" for active in trace.intervals
+                ),
+            }
+            for trace in traces
+        ]
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def read_traces_json(path: _PathLike) -> List[UserDayTrace]:
+    """Read user-day traces from a JSON file."""
+    with open(path) as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise TraceFormatError(f"{path}: invalid JSON ({error})")
+    records = payload.get("traces") if isinstance(payload, dict) else None
+    if not isinstance(records, list):
+        raise TraceFormatError(f"{path}: expected a top-level 'traces' list")
+    traces: List[UserDayTrace] = []
+    for index, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise TraceFormatError(f"{path}: trace {index} is not an object")
+        traces.append(_parse_row(path, index, record))
+    return traces
+
+
+def _parse_row(path: _PathLike, row_number: int, row) -> UserDayTrace:
+    try:
+        user_id = int(row["user_id"])
+    except (TypeError, ValueError):
+        raise TraceFormatError(
+            f"{path}:{row_number}: bad user_id {row.get('user_id')!r}"
+        )
+    try:
+        day_type = DayType(row["day_type"])
+    except (KeyError, ValueError):
+        raise TraceFormatError(
+            f"{path}:{row_number}: bad day_type {row.get('day_type')!r}"
+        )
+    bits = row.get("intervals") or ""
+    if len(bits) != INTERVALS_PER_DAY or set(bits) - {"0", "1"}:
+        raise TraceFormatError(
+            f"{path}:{row_number}: intervals must be {INTERVALS_PER_DAY} "
+            f"characters of 0/1"
+        )
+    return UserDayTrace.from_bits(user_id, day_type, [int(bit) for bit in bits])

@@ -1,0 +1,135 @@
+"""Server-workload activity traces (§1 motivation, §5.6 generality).
+
+The paper motivates Oasis with cloud services that must stay always-on
+and network-present — Hadoop, Elasticsearch, Zookeeper members sending
+heartbeats, VoIP endpoints, replication daemons — yet are idle almost
+all the time, and argues (§5.6) that such server VMs should consolidate
+at least as well as desktops because their idle working sets are
+smaller.  This module generates activity traces for that world:
+
+* **always-on service members** — idle at the trace level (heartbeats
+  do not make a VM *active* in the §3.1 sense), with rare activity
+  bursts when they field real load;
+* **batch workers** — idle except during scheduled windows (nightly
+  ETL, hourly compactions);
+* **front-ends** — diurnal request-driven activity, busier in business
+  hours but far smoother than desktop keyboard traces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.traces.model import DayType, UserDayTrace
+from repro.traces.sampler import TraceEnsemble
+from repro.units import INTERVALS_PER_DAY
+
+_INTERVALS_PER_HOUR = INTERVALS_PER_DAY // 24
+
+
+@dataclass(frozen=True)
+class ServerProfile:
+    """Activity behaviour of one server-VM class."""
+
+    name: str
+    #: Probability that any given interval starts an unscheduled
+    #: activity burst (real queries hitting a mostly-idle member).
+    burst_start_probability: float
+    #: Mean burst length, intervals (geometric).
+    burst_mean_intervals: float
+    #: Scheduled busy windows as (start hour, end hour) pairs.
+    busy_windows_h: Tuple[Tuple[float, float], ...] = ()
+    #: Activity duty cycle inside a busy window.
+    window_duty_cycle: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.burst_start_probability <= 1.0:
+            raise ConfigError(f"{self.name}: burst probability out of range")
+        if self.burst_mean_intervals < 1.0:
+            raise ConfigError(f"{self.name}: bursts last >= 1 interval")
+        if not 0.0 <= self.window_duty_cycle <= 1.0:
+            raise ConfigError(f"{self.name}: duty cycle out of range")
+        for start, end in self.busy_windows_h:
+            if not 0.0 <= start < end <= 24.0:
+                raise ConfigError(
+                    f"{self.name}: bad busy window ({start}, {end})"
+                )
+
+
+#: A cluster member that exists to hold membership: heartbeats only,
+#: a real burst of work a couple of times a day.
+SERVICE_MEMBER = ServerProfile(
+    name="service-member",
+    burst_start_probability=0.004,
+    burst_mean_intervals=3.0,
+)
+
+#: A nightly batch worker: dead quiet except its processing window.
+BATCH_WORKER = ServerProfile(
+    name="batch-worker",
+    burst_start_probability=0.001,
+    burst_mean_intervals=2.0,
+    busy_windows_h=((1.0, 4.0),),
+    window_duty_cycle=0.9,
+)
+
+#: A request-driven front end: diurnal load, active much of the
+#: business day, sparse at night.
+FRONT_END = ServerProfile(
+    name="front-end",
+    burst_start_probability=0.01,
+    burst_mean_intervals=2.0,
+    busy_windows_h=((9.0, 18.0),),
+    window_duty_cycle=0.55,
+)
+
+
+def generate_server_trace(
+    user_id: int, profile: ServerProfile, rng: random.Random
+) -> UserDayTrace:
+    """One server VM's day under the given profile."""
+    bits = [0] * INTERVALS_PER_DAY
+    for start_h, end_h in profile.busy_windows_h:
+        for interval in range(
+            int(start_h * _INTERVALS_PER_HOUR),
+            int(end_h * _INTERVALS_PER_HOUR),
+        ):
+            if rng.random() < profile.window_duty_cycle:
+                bits[interval] = 1
+    index = 0
+    while index < INTERVALS_PER_DAY:
+        if rng.random() < profile.burst_start_probability:
+            length = 1
+            while rng.random() > 1.0 / profile.burst_mean_intervals:
+                length += 1
+            for offset in range(length):
+                if index + offset < INTERVALS_PER_DAY:
+                    bits[index + offset] = 1
+            index += length
+        else:
+            index += 1
+    return UserDayTrace.from_bits(user_id, DayType.WEEKDAY, bits)
+
+
+def generate_server_ensemble(
+    mix: Dict[ServerProfile, int], seed: int
+) -> TraceEnsemble:
+    """A server-farm population from a profile mix.
+
+    ``mix`` maps profiles to VM counts; VMs are laid out profile by
+    profile with consecutive ids (so whole home hosts tend to share a
+    class, as real deployments rack them).
+    """
+    if not mix or not any(count > 0 for count in mix.values()):
+        raise ConfigError("the server mix is empty")
+    rng = random.Random(seed)
+    traces: List[UserDayTrace] = []
+    for profile, count in mix.items():
+        if count < 0:
+            raise ConfigError(f"{profile.name}: negative count")
+        for _ in range(count):
+            traces.append(generate_server_trace(len(traces), profile, rng))
+    return TraceEnsemble(DayType.WEEKDAY, tuple(traces))

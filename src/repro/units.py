@@ -1,0 +1,100 @@
+"""Shared unit conventions and physical constants.
+
+All of :mod:`repro` uses a single set of unit conventions:
+
+* **time** — seconds, as ``float``, measured from simulation start;
+* **memory** — mebibytes (MiB), as ``float`` (a page is 4 KiB);
+* **bandwidth** — MiB per second;
+* **power** — watts;
+* **energy** — joules (helpers convert to watt-hours for reporting).
+
+The constants below capture the hardware parameters reported in the paper
+(Table 1 and sections 4.3/5.1): link rates, page geometry, and the trace
+interval used by the activity tracker.
+"""
+
+from __future__ import annotations
+
+# --- time ----------------------------------------------------------------
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86_400.0
+
+#: The activity tracker samples user input in 5-minute intervals (§5.1).
+TRACE_INTERVAL_SECONDS = 300.0
+
+#: Number of 5-minute intervals in one simulated day.
+INTERVALS_PER_DAY = int(SECONDS_PER_DAY / TRACE_INTERVAL_SECONDS)
+
+# --- memory ---------------------------------------------------------------
+
+KIB_PER_MIB = 1024.0
+MIB_PER_GIB = 1024.0
+
+#: Guest page size, KiB.  x86 pages are 4 KiB.
+PAGE_SIZE_KIB = 4.0
+
+#: Pages per MiB of guest memory.
+PAGES_PER_MIB = int(KIB_PER_MIB / PAGE_SIZE_KIB)
+
+#: Default VM memory allocation in the evaluation (4 GiB, §5.1).
+DEFAULT_VM_MEMORY_MIB = 4.0 * MIB_PER_GIB
+
+#: Partial-VM page-table chunk granularity (§4.2): frames are allocated in
+#: 2 MiB chunks to reduce heap fragmentation.
+CHUNK_SIZE_MIB = 2.0
+
+# --- network and storage links --------------------------------------------
+
+#: Gigabit Ethernet payload rate, MiB/s (prototype network, §4.4.1).
+GIGE_MIB_PER_S = 117.0
+
+#: 10-Gigabit Ethernet payload rate, MiB/s (simulated rack fabric, §5.1).
+TEN_GIGE_MIB_PER_S = 1170.0
+
+#: Sustained sequential write rate of the shared SAS drive (§4.3).
+SAS_MIB_PER_S = 128.0
+
+
+def mib_to_gib(mib: float) -> float:
+    """Convert mebibytes to gibibytes."""
+    return mib / MIB_PER_GIB
+
+
+def gib_to_mib(gib: float) -> float:
+    """Convert gibibytes to mebibytes."""
+    return gib * MIB_PER_GIB
+
+
+def mib_to_pages(mib: float) -> int:
+    """Number of whole 4 KiB pages covering ``mib`` mebibytes."""
+    return int(round(mib * PAGES_PER_MIB))
+
+
+def pages_to_mib(pages: int) -> float:
+    """Size in MiB of ``pages`` 4 KiB pages."""
+    return pages / PAGES_PER_MIB
+
+
+def joules_to_wh(joules: float) -> float:
+    """Convert joules to watt-hours."""
+    return joules / 3600.0
+
+
+def wh_to_joules(wh: float) -> float:
+    """Convert watt-hours to joules."""
+    return wh * 3600.0
+
+
+def transfer_seconds(size_mib: float, bandwidth_mib_per_s: float) -> float:
+    """Time to move ``size_mib`` over a link of the given bandwidth.
+
+    Raises :class:`ValueError` for a non-positive bandwidth; zero-sized
+    transfers take zero time.
+    """
+    if bandwidth_mib_per_s <= 0.0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_mib_per_s}")
+    if size_mib < 0.0:
+        raise ValueError(f"transfer size must be non-negative, got {size_mib}")
+    return size_mib / bandwidth_mib_per_s

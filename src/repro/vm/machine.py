@@ -1,0 +1,187 @@
+"""The VM object used by the cluster simulation.
+
+A :class:`VirtualMachine` tracks three orthogonal pieces of state:
+
+* **activity** — active or idle, driven by the user trace;
+* **residency** — full (complete image where it runs) or partial (only
+  the idle working set resident, faulting from the home's memory server);
+* **placement** — ``host_id`` (where it runs), ``home_id`` (which host
+  owns its full memory image), and ``origin_home_id`` (the compute host
+  it was created on, used by the FulltoPartial return path).
+
+Invariants (enforced on every mutation):
+
+* a FULL VM runs on its home (``host_id == home_id``);
+* a PARTIAL VM runs away from its home and its working set never exceeds
+  its allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import MigrationError
+from repro.units import DEFAULT_VM_MEMORY_MIB
+from repro.vm.state import Residency, VmActivity
+
+
+class VirtualMachine:
+    """One virtual machine in the simulated cluster."""
+
+    __slots__ = (
+        "vm_id",
+        "memory_mib",
+        "origin_home_id",
+        "home_id",
+        "host_id",
+        "residency",
+        "activity",
+        "working_set_mib",
+        "idle_intervals",
+    )
+
+    def __init__(
+        self,
+        vm_id: int,
+        origin_home_id: int,
+        memory_mib: float = DEFAULT_VM_MEMORY_MIB,
+    ) -> None:
+        if memory_mib <= 0.0:
+            raise MigrationError(f"VM memory must be positive, got {memory_mib}")
+        self.vm_id = vm_id
+        self.memory_mib = memory_mib
+        self.origin_home_id = origin_home_id
+        self.home_id = origin_home_id
+        self.host_id = origin_home_id
+        self.residency = Residency.FULL
+        self.activity = VmActivity.IDLE
+        self.working_set_mib: Optional[float] = None
+        #: Consecutive trace intervals this VM has been idle (scheduler
+        #: hysteresis input).
+        self.idle_intervals = 0
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def is_active(self) -> bool:
+        return self.activity is VmActivity.ACTIVE
+
+    @property
+    def is_partial(self) -> bool:
+        return self.residency is Residency.PARTIAL
+
+    @property
+    def resident_mib(self) -> float:
+        """Memory the VM occupies on the host where it runs."""
+        if self.residency is Residency.FULL:
+            return self.memory_mib
+        if self.working_set_mib is None:
+            raise MigrationError(f"partial VM {self.vm_id} has no working set")
+        return self.working_set_mib
+
+    @property
+    def resident_fraction(self) -> float:
+        """Fraction of the allocation resident where the VM runs."""
+        return self.resident_mib / self.memory_mib
+
+    # -- activity ----------------------------------------------------------
+
+    def set_activity(self, activity: VmActivity) -> None:
+        """Update activity from the trace; maintains the idle-streak count."""
+        if activity is VmActivity.IDLE:
+            if self.activity is VmActivity.IDLE:
+                self.idle_intervals += 1
+            else:
+                self.idle_intervals = 1
+        else:
+            self.idle_intervals = 0
+        self.activity = activity
+
+    # -- residency / placement transitions ---------------------------------
+
+    def become_partial(self, destination_id: int, working_set_mib: float) -> None:
+        """Partial-migrate: run on ``destination_id`` with only the working set.
+
+        The full image stays behind with the current home, whose memory
+        server will service page faults.
+        """
+        if self.residency is Residency.PARTIAL:
+            raise MigrationError(f"VM {self.vm_id} is already partial")
+        if destination_id == self.home_id:
+            raise MigrationError(
+                f"VM {self.vm_id}: partial destination equals home "
+                f"{self.home_id}"
+            )
+        if not 0.0 < working_set_mib <= self.memory_mib:
+            raise MigrationError(
+                f"VM {self.vm_id}: working set {working_set_mib} MiB outside "
+                f"(0, {self.memory_mib}]"
+            )
+        self.residency = Residency.PARTIAL
+        self.host_id = destination_id
+        self.working_set_mib = working_set_mib
+
+    def relocate_partial(self, destination_id: int) -> None:
+        """Move a partial VM to another consolidation host (same home)."""
+        if self.residency is not Residency.PARTIAL:
+            raise MigrationError(f"VM {self.vm_id} is not partial")
+        if destination_id == self.home_id:
+            raise MigrationError(
+                f"VM {self.vm_id}: use reintegrate() to return home"
+            )
+        self.host_id = destination_id
+
+    def reintegrate(self) -> None:
+        """Return a partial VM to its home; dirty state merges into the
+        full image and the VM becomes full again."""
+        if self.residency is not Residency.PARTIAL:
+            raise MigrationError(f"VM {self.vm_id} is not partial")
+        self.residency = Residency.FULL
+        self.host_id = self.home_id
+        self.working_set_mib = None
+
+    def become_full_in_place(self) -> None:
+        """Convert a partial VM to full where it runs (Default policy when
+        the consolidation host has capacity, §3.2): the remaining image is
+        pulled from the old home, which relinquishes ownership."""
+        self.become_full_at(self.host_id)
+
+    def become_full_at(self, destination_id: int) -> None:
+        """Convert a partial VM to a full VM on ``destination_id`` (the
+        NewHome policy, §3.2): the working set moves from the current
+        host and the remainder streams from the old home's memory
+        server; the destination becomes the new home."""
+        if self.residency is not Residency.PARTIAL:
+            raise MigrationError(f"VM {self.vm_id} is not partial")
+        self.residency = Residency.FULL
+        self.host_id = destination_id
+        self.home_id = destination_id
+        self.working_set_mib = None
+
+    def full_migrate(self, destination_id: int) -> None:
+        """Live-migrate the full VM; the destination becomes the new home."""
+        if self.residency is not Residency.FULL:
+            raise MigrationError(
+                f"VM {self.vm_id} must be full to live-migrate"
+            )
+        self.host_id = destination_id
+        self.home_id = destination_id
+
+    def grow_working_set(self, delta_mib: float) -> None:
+        """Grow a partial VM's resident working set (demand faults), capped
+        at the full allocation."""
+        if self.residency is not Residency.PARTIAL:
+            raise MigrationError(f"VM {self.vm_id} is not partial")
+        if delta_mib < 0.0:
+            raise MigrationError("working-set growth must be non-negative")
+        assert self.working_set_mib is not None
+        self.working_set_mib = min(
+            self.working_set_mib + delta_mib, self.memory_mib
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<VM {self.vm_id} {self.activity.value}/{self.residency.value} "
+            f"host={self.host_id} home={self.home_id} "
+            f"resident={self.resident_mib:.0f} MiB>"
+        )

@@ -1,0 +1,31 @@
+"""VM activity and residency state enums."""
+
+from __future__ import annotations
+
+import enum
+
+
+class VmActivity(enum.Enum):
+    """Whether a VM currently needs its full resource allocation (§3.1).
+
+    A VM is *active* when it accesses a large fraction of its assigned
+    resources (e.g. a user at the keyboard, a cluster member processing
+    queries) and *idle* when it only runs background tasks (heartbeats,
+    periodic mail fetches).  In the VDI evaluation, activity follows the
+    user's keyboard/mouse trace.
+    """
+
+    ACTIVE = "active"
+    IDLE = "idle"
+
+
+class Residency(enum.Enum):
+    """How much of the VM's memory is resident where it runs (§2).
+
+    * ``FULL`` — the complete memory image is on the host running the VM.
+    * ``PARTIAL`` — only the idle working set is resident; missing pages
+      fault in on demand from the home host's memory server.
+    """
+
+    FULL = "full"
+    PARTIAL = "partial"

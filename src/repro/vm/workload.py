@@ -1,0 +1,124 @@
+"""Desktop workload catalog (Table 2 of the paper).
+
+The prototype micro-benchmarks primed VMs with *Workload 1* (a heavily
+multitasking desktop: mail, IM, three office documents, a PDF, five
+browser tabs) and later executed *Workload 2* (four more sites, three
+more documents, one more PDF) to emulate a user becoming active.
+
+Each application carries two calibrated numbers used by the Figure 6
+model (:mod:`repro.prototype.apps`):
+
+* ``full_start_s`` — start-up latency with all memory resident;
+* ``startup_footprint_mib`` — unique memory the start-up path touches,
+  which a partial VM must fault in page by page.
+
+The footprints were fitted so the demand-fetch model reproduces the
+paper's reported extremes (LibreOffice: 168 s in a partial VM, ~111x its
+full-VM latency; pre-fetching the whole VM instead takes 41 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Application:
+    """One desktop application as used in the Table 2 workloads."""
+
+    name: str
+    #: Start-up latency with the full memory image resident, seconds.
+    full_start_s: float
+    #: Unique memory touched by the start-up path, MiB.
+    startup_footprint_mib: float
+    #: Memory the application keeps resident once started, MiB.  Used to
+    #: compose the primed VM image for the Figure 5 micro-benchmark.
+    resident_mib: float
+
+    def __post_init__(self) -> None:
+        if self.full_start_s <= 0.0:
+            raise ConfigError(f"{self.name}: full_start_s must be positive")
+        if self.startup_footprint_mib <= 0.0 or self.resident_mib <= 0.0:
+            raise ConfigError(f"{self.name}: footprints must be positive")
+
+
+#: Applications referenced by Table 2, keyed by a short identifier.
+APPLICATION_CATALOG: Dict[str, Application] = {
+    "thunderbird": Application("Thunderbird mail", 1.2, 62.0, 180.0),
+    "pidgin": Application("Pidgin IM", 0.5, 14.0, 40.0),
+    "libreoffice-doc": Application("LibreOffice document", 1.5, 164.0, 210.0),
+    "evince-pdf": Application("Evince PDF", 0.8, 30.0, 70.0),
+    "firefox-cnn": Application("Firefox: CNN.com", 2.1, 88.0, 130.0),
+    "firefox-slashdot": Application("Firefox: Slashdot.com", 1.8, 72.0, 110.0),
+    "firefox-maps": Application("Firefox: Maps.Google.com", 2.4, 104.0, 150.0),
+    "firefox-sunspider": Application("Firefox: SunSpider", 1.6, 58.0, 90.0),
+    "firefox-acid3": Application("Firefox: Acid3", 1.4, 46.0, 70.0),
+    "firefox-hp": Application("Firefox: Shopping.HP.com", 1.9, 76.0, 115.0),
+    "firefox-cdw": Application("Firefox: CDW.com", 1.8, 70.0, 105.0),
+    "firefox-bbc": Application("Firefox: BBC.co.uk/news", 1.7, 66.0, 100.0),
+    "firefox-globeandmail": Application(
+        "Firefox: TheGlobeAndMail.com", 1.9, 74.0, 110.0
+    ),
+    "gnome-desktop": Application("GNOME desktop session", 4.0, 120.0, 600.0),
+}
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An ordered list of applications to load into a desktop VM."""
+
+    name: str
+    application_keys: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        missing = [key for key in self.application_keys
+                   if key not in APPLICATION_CATALOG]
+        if missing:
+            raise ConfigError(f"unknown applications: {missing}")
+
+    @property
+    def applications(self) -> Tuple[Application, ...]:
+        return tuple(APPLICATION_CATALOG[key] for key in self.application_keys)
+
+    @property
+    def resident_mib(self) -> float:
+        """Memory this workload keeps resident once loaded."""
+        return sum(app.resident_mib for app in self.applications)
+
+
+#: Workload 1 (Table 2): the initial heavily-multitasking priming load.
+WORKLOAD_1 = Workload(
+    "Workload 1",
+    (
+        "gnome-desktop",
+        "thunderbird",
+        "pidgin",
+        "libreoffice-doc",
+        "libreoffice-doc",
+        "libreoffice-doc",
+        "evince-pdf",
+        "firefox-cnn",
+        "firefox-slashdot",
+        "firefox-maps",
+        "firefox-sunspider",
+        "firefox-acid3",
+    ),
+)
+
+#: Workload 2 (Table 2): what the user does upon returning.
+WORKLOAD_2 = Workload(
+    "Workload 2",
+    (
+        "firefox-hp",
+        "firefox-cdw",
+        "firefox-bbc",
+        "firefox-globeandmail",
+        "libreoffice-doc",
+        "libreoffice-doc",
+        "libreoffice-doc",
+        "evince-pdf",
+    ),
+)

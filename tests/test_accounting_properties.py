@@ -1,0 +1,101 @@
+"""Property-based tests for host accounting and the busy scheduler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster, Host, HostRole
+from repro.migration import HostBusyScheduler
+from repro.vm import VirtualMachine
+
+
+@st.composite
+def host_operations(draw):
+    """A random sequence of attach/detach/grow/convert operations."""
+    count = draw(st.integers(min_value=1, max_value=12))
+    ops = []
+    for vm_id in range(1, count + 1):
+        partial = draw(st.booleans())
+        ws = draw(st.floats(min_value=16.0, max_value=1024.0))
+        ops.append(("attach", vm_id, partial, ws))
+        action = draw(st.sampled_from(["keep", "detach", "grow", "convert"]))
+        ops.append((action, vm_id, partial, ws))
+    return ops
+
+
+class TestHostAccountingProperties:
+    @given(ops=host_operations())
+    @settings(max_examples=100, deadline=None)
+    def test_incremental_accounting_never_drifts(self, ops):
+        cluster = Cluster(1, 1, host_capacity_mib=1e6)
+        host = cluster.host(1)  # consolidation host can hold partials
+        vms = {}
+        for op, vm_id, partial, ws in ops:
+            if op == "attach":
+                vm = VirtualMachine(vm_id, 0, 4096.0)
+                if partial:
+                    vm.become_partial(1, ws)
+                    host.attach(vm)
+                else:
+                    vm.full_migrate(1)
+                    host.attach(vm)
+                vms[vm_id] = vm
+            elif op == "detach":
+                host.detach(vm_id)
+                del vms[vm_id]
+            elif op == "grow" and vms[vm_id].is_partial:
+                host.grow_partial_vm(vm_id, 32.0)
+            elif op == "convert" and vms[vm_id].is_partial:
+                host.convert_vm_full_in_place(vm_id)
+            cluster.check_invariants()
+
+    @given(
+        working_sets=st.lists(
+            st.floats(min_value=16.0, max_value=4096.0),
+            min_size=1, max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fraction_returns_to_zero_after_full_drain(self, working_sets):
+        host = Host(1, HostRole.CONSOLIDATION, capacity_mib=1e6)
+        for vm_id, ws in enumerate(working_sets, start=1):
+            vm = VirtualMachine(vm_id, 0, 4096.0)
+            vm.become_partial(1, ws)
+            host.attach(vm)
+        for vm_id in list(host.vm_ids):
+            host.detach(vm_id)
+        assert host.used_mib == pytest.approx(0.0, abs=1e-6)
+        assert host.partial_resident_fraction == pytest.approx(0.0, abs=1e-9)
+        assert host.full_vm_count == 0
+
+
+class TestSchedulerProperties:
+    @given(
+        jobs=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),        # resource
+                st.floats(min_value=0.0, max_value=50.0),  # now offset
+                st.floats(min_value=0.1, max_value=20.0),  # latency
+                st.floats(min_value=0.0, max_value=10.0),  # occupancy
+            ),
+            min_size=1, max_size=40,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_reservations_never_overlap_per_resource(self, jobs):
+        scheduler = HostBusyScheduler()
+        spans = {}
+        clock = 0.0
+        for resource, advance, latency, occupancy in jobs:
+            clock += advance
+            occupancy = min(occupancy, latency)
+            start, end = scheduler.reserve(
+                [resource], clock, latency, occupancy_s=occupancy
+            )
+            assert start >= clock
+            assert end == pytest.approx(start + latency)
+            previous = spans.get(resource)
+            if previous is not None:
+                # Occupancy windows on one resource never overlap.
+                assert start >= previous - 1e-9
+            spans[resource] = start + occupancy
+            assert scheduler.release_after(resource) >= end - 1e-9

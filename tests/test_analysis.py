@@ -1,0 +1,106 @@
+"""Analysis helpers: CDFs, series utilities, table rendering."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import Cdf, bin_series, format_percent, format_table, moving_average
+from repro.errors import ConfigError
+
+
+class TestCdf:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            Cdf([])
+
+    def test_probability_at_or_below(self):
+        cdf = Cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.probability_at_or_below(0.5) == 0.0
+        assert cdf.probability_at_or_below(2.0) == 0.5
+        assert cdf.probability_at_or_below(10.0) == 1.0
+
+    def test_median(self):
+        assert Cdf([5.0, 1.0, 3.0]).median() == 3.0
+
+    def test_extremes(self):
+        cdf = Cdf([2.0, 9.0, 4.0])
+        assert cdf.min == 2.0
+        assert cdf.max == 9.0
+        assert cdf.percentile(0.0) == 2.0
+        assert cdf.percentile(100.0) == 9.0
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ConfigError):
+            Cdf([1.0]).percentile(150.0)
+
+    def test_points_downsample(self):
+        cdf = Cdf(list(range(1000)))
+        points = cdf.points(max_points=10)
+        assert len(points) <= 12
+        assert points[-1][1] == 1.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_percentiles_monotone(self, samples):
+        cdf = Cdf(samples)
+        previous = cdf.percentile(0.0)
+        for q in (10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0):
+            value = cdf.percentile(q)
+            assert value >= previous
+            previous = value
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=100),
+           st.floats(min_value=-10.0, max_value=110.0))
+    @settings(max_examples=80, deadline=None)
+    def test_probability_is_exact_empirical_fraction(self, samples, value):
+        cdf = Cdf(samples)
+        expected = sum(1 for s in samples if s <= value) / len(samples)
+        assert cdf.probability_at_or_below(value) == pytest.approx(expected)
+
+
+class TestSeries:
+    def test_moving_average_smooths(self):
+        values = [0.0, 10.0, 0.0, 10.0]
+        smoothed = moving_average(values, window=3)
+        assert smoothed[1] == pytest.approx(10.0 / 3)
+
+    def test_moving_average_window_one_is_identity(self):
+        values = [1.0, 2.0, 3.0]
+        assert moving_average(values, 1) == values
+
+    def test_moving_average_validation(self):
+        with pytest.raises(ConfigError):
+            moving_average([1.0], 0)
+
+    def test_bin_series(self):
+        times = [0.0, 10.0, 20.0, 30.0]
+        values = [1.0, 3.0, 5.0, 7.0]
+        binned = bin_series(times, values, bin_width=20.0)
+        assert binned == [(0.0, 2.0), (20.0, 6.0)]
+
+    def test_bin_series_validation(self):
+        with pytest.raises(ConfigError):
+            bin_series([1.0], [1.0, 2.0], 10.0)
+        with pytest.raises(ConfigError):
+            bin_series([1.0], [1.0], 0.0)
+
+
+class TestTables:
+    def test_format_percent(self):
+        assert format_percent(0.281) == "28.1%"
+        assert format_percent(0.5, digits=0) == "50%"
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        # Columns align: 'value' entries start at the same offset.
+        assert lines[2].rstrip().endswith("1")
+        assert lines[3].rstrip().endswith("22")
+
+    def test_format_table_handles_wide_cells(self):
+        table = format_table(["x"], [["wider-than-header"]])
+        assert "wider-than-header" in table

@@ -1,0 +1,82 @@
+"""ASCII chart renderers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import cdf_chart, line_chart, sparkline
+from repro.errors import ConfigError
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_downsampling_to_width(self):
+        assert len(sparkline(list(range(288)), width=72)) == 72
+
+    def test_extremes_use_extreme_glyphs(self):
+        line = sparkline([0.0, 10.0])
+        assert line[0] != line[1]
+        assert line[-1] == "█"
+
+    def test_flat_series(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(set(line)) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            sparkline([])
+        with pytest.raises(ConfigError):
+            sparkline([1.0], width=0)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6),
+            min_size=1, max_size=500,
+        ),
+        width=st.integers(min_value=1, max_value=120),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_never_longer_than_width(self, values, width):
+        line = sparkline(values, width=width)
+        assert 1 <= len(line) <= width
+        assert all(ch in " ▁▂▃▄▅▆▇█" for ch in line)
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        chart = line_chart([1.0, 5.0, 2.0, 8.0], width=20, height=6)
+        lines = chart.splitlines()
+        assert len(lines) == 8  # header + 6 rows + footer
+        assert all(len(line) <= 20 for line in lines[1:-1])
+
+    def test_annotations(self):
+        chart = line_chart([1.0, 9.0], label="active VMs")
+        assert "active VMs" in chart
+        assert "max=9" in chart
+        assert "min=1" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            line_chart([])
+        with pytest.raises(ConfigError):
+            line_chart([1.0], width=0)
+
+
+class TestCdfChart:
+    def test_quantile_rows(self):
+        points = [(float(v), (v + 1) / 10.0) for v in range(10)]
+        chart = cdf_chart(points, label="delays")
+        assert "delays" in chart
+        assert "p 50.0" in chart
+        assert "p100.0" in chart
+
+    def test_monotone_bars(self):
+        points = [(1.0, 0.5), (2.0, 1.0)]
+        lines = cdf_chart(points).splitlines()
+        bar_lengths = [line.count("#") for line in lines]
+        assert bar_lengths == sorted(bar_lengths)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            cdf_chart([])

@@ -1,0 +1,102 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.policy == "FulltoPartial"
+        assert args.day == "weekday"
+        assert args.consolidation_hosts == 4
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "Nope"])
+
+    def test_micro_tables_enumerated(self):
+        for table in ("table1", "fig1", "fig2", "fig5", "fig6", "traffic"):
+            args = build_parser().parse_args(["micro", table])
+            assert args.table == table
+
+
+class TestMicroCommands:
+    def test_table1_output(self, capsys):
+        assert main(["micro", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "102.2" in out
+        assert "12.9" in out
+
+    def test_fig5_output(self, capsys):
+        assert main(["micro", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "full migration" in out
+        assert "partial migration #2" in out
+
+    def test_fig6_output(self, capsys):
+        assert main(["micro", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "LibreOffice" in out
+
+    def test_fig1_output(self, capsys):
+        assert main(["micro", "fig1"]) == 0
+        assert "Desktop" in capsys.readouterr().out
+
+    def test_traffic_output(self, capsys):
+        assert main(["micro", "traffic"]) == 0
+        assert "reintegration dirty" in capsys.readouterr().out
+
+
+class TestTracesCommands:
+    def test_generate_then_stats(self, tmp_path, capsys):
+        out_file = tmp_path / "traces.csv"
+        assert main([
+            "traces", "generate", "--count", "40", "--out", str(out_file),
+        ]) == 0
+        assert out_file.exists()
+        assert main(["traces", "stats", "--file", str(out_file)]) == 0
+        assert "users=40" in capsys.readouterr().out
+
+    def test_json_roundtrip_via_extension(self, tmp_path, capsys):
+        out_file = tmp_path / "traces.json"
+        assert main([
+            "traces", "generate", "--count", "12", "--out", str(out_file),
+        ]) == 0
+        assert out_file.read_text().lstrip().startswith("{")
+        assert main(["traces", "stats", "--file", str(out_file)]) == 0
+        assert "users=12" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    def test_week_simulation_runs(self, capsys):
+        code = main([
+            "simulate",
+            "--home-hosts", "3",
+            "--consolidation-hosts", "1",
+            "--vms-per-host", "3",
+            "--week",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "weekly savings" in out
+        assert "kWh/year" in out
+
+    def test_small_simulation_runs(self, capsys):
+        code = main([
+            "simulate",
+            "--home-hosts", "4",
+            "--consolidation-hosts", "1",
+            "--vms-per-host", "4",
+            "--policy", "FulltoPartial",
+            "--day", "weekend",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "energy savings" in out
+        assert "home-host sleep" in out

@@ -1,0 +1,194 @@
+"""Host memory accounting, served images, and the power-state machine."""
+
+import pytest
+
+from repro.cluster import Host, HostRole, PowerState
+from repro.cluster.power import check_transition
+from repro.errors import CapacityError, MigrationError, PowerStateError
+from repro.vm import VirtualMachine
+
+
+def make_host(capacity_mib=12_288.0, role=HostRole.COMPUTE):
+    return Host(0, role, capacity_mib)
+
+
+def make_vm(vm_id=1, home=0, memory=4096.0):
+    return VirtualMachine(vm_id, home, memory)
+
+
+class TestPowerStateMachine:
+    def test_legal_cycle(self):
+        for current, target in [
+            (PowerState.POWERED, PowerState.SUSPENDING),
+            (PowerState.SUSPENDING, PowerState.SLEEPING),
+            (PowerState.SLEEPING, PowerState.RESUMING),
+            (PowerState.RESUMING, PowerState.POWERED),
+        ]:
+            check_transition(current, target)  # must not raise
+
+    def test_illegal_transitions(self):
+        with pytest.raises(PowerStateError):
+            check_transition(PowerState.POWERED, PowerState.SLEEPING)
+        with pytest.raises(PowerStateError):
+            check_transition(PowerState.SLEEPING, PowerState.POWERED)
+        with pytest.raises(PowerStateError):
+            check_transition(PowerState.SUSPENDING, PowerState.RESUMING)
+
+    def test_transitional_flags(self):
+        assert PowerState.SUSPENDING.is_transitional
+        assert PowerState.RESUMING.is_transitional
+        assert not PowerState.POWERED.is_transitional
+        assert PowerState.POWERED.can_run_vms
+        assert not PowerState.SLEEPING.can_run_vms
+
+
+class TestHostPowerCycle:
+    def test_full_cycle(self):
+        host = make_host()
+        host.begin_suspend()
+        assert host.power_state is PowerState.SUSPENDING
+        host.complete_suspend()
+        assert host.is_sleeping
+        host.begin_resume()
+        host.complete_resume()
+        assert host.is_powered
+
+    def test_suspend_blocked_by_running_vms(self):
+        host = make_host()
+        host.attach(make_vm())
+        with pytest.raises(PowerStateError):
+            host.begin_suspend()
+
+    def test_served_images_do_not_block_suspend(self):
+        # The whole point of the memory server (§3.3).
+        host = make_host()
+        host.add_served_image(7)
+        host.begin_suspend()
+        host.complete_suspend()
+        assert host.is_sleeping
+        assert host.served_image_count == 1
+
+
+class TestMemoryAccounting:
+    def test_attach_reserves_resident_size(self):
+        host = make_host()
+        host.attach(make_vm(memory=4096.0))
+        assert host.used_mib == 4096.0
+        assert host.free_mib == 8192.0
+
+    def test_attach_rejects_overflow(self):
+        host = make_host(capacity_mib=4096.0)
+        host.attach(make_vm(1))
+        with pytest.raises(CapacityError):
+            host.attach(make_vm(2))
+
+    def test_attach_rejects_duplicates(self):
+        host = make_host()
+        vm = make_vm()
+        host.attach(vm)
+        with pytest.raises(MigrationError):
+            host.attach(vm)
+
+    def test_detach_releases_memory(self):
+        host = make_host()
+        vm = make_vm()
+        host.attach(vm)
+        host.detach(vm.vm_id)
+        assert host.used_mib == 0.0
+        assert host.vm_count == 0
+
+    def test_detach_unknown_vm(self):
+        with pytest.raises(MigrationError):
+            make_host().detach(99)
+
+    def test_partial_vm_occupies_only_working_set(self):
+        host = make_host()
+        vm = make_vm(home=5)  # homed elsewhere so it can be partial here
+        vm.become_partial(destination_id=0, working_set_mib=160.0)
+        host.attach(vm)
+        assert host.used_mib == pytest.approx(160.0)
+        assert host.partial_vm_count == 1
+        assert host.full_vm_count == 0
+        assert host.partial_resident_fraction == pytest.approx(160.0 / 4096.0)
+
+    def test_can_fit_tolerates_float_noise(self):
+        host = make_host(capacity_mib=100.0)
+        for _ in range(10):
+            vm = make_vm(vm_id=_ + 1, home=5, memory=4096.0)
+            vm.become_partial(0, 10.0)
+            host.attach(vm)
+        assert host.can_fit(0.0)
+
+    def test_recompute_matches_incremental(self):
+        host = make_host()
+        full = make_vm(1)
+        partial = make_vm(2, home=5)
+        partial.become_partial(0, 200.0)
+        host.attach(full)
+        host.attach(partial)
+        assert host.recompute_used_mib() == pytest.approx(host.used_mib)
+
+
+class TestInPlaceTransitions:
+    def _host_with_partial(self, capacity=12_288.0, ws=160.0):
+        host = make_host(capacity)
+        vm = make_vm(1, home=5)
+        vm.become_partial(0, ws)
+        host.attach(vm)
+        return host, vm
+
+    def test_convert_in_place_reserves_full_allocation(self):
+        host, vm = self._host_with_partial()
+        host.convert_vm_full_in_place(vm.vm_id)
+        assert host.used_mib == pytest.approx(4096.0)
+        assert host.full_vm_count == 1
+        assert host.partial_resident_fraction == 0.0
+        assert vm.home_id == 0  # the consolidation host is the new home
+
+    def test_convert_in_place_requires_capacity(self):
+        host, vm = self._host_with_partial(capacity=1024.0)
+        with pytest.raises(CapacityError):
+            host.convert_vm_full_in_place(vm.vm_id)
+        # State must be untouched on failure.
+        assert vm.is_partial
+        assert host.used_mib == pytest.approx(160.0)
+
+    def test_convert_rejects_full_vms(self):
+        host = make_host()
+        vm = make_vm(1)
+        host.attach(vm)
+        with pytest.raises(MigrationError):
+            host.convert_vm_full_in_place(vm.vm_id)
+
+    def test_grow_partial_vm(self):
+        host, vm = self._host_with_partial()
+        host.grow_partial_vm(vm.vm_id, 40.0)
+        assert vm.working_set_mib == pytest.approx(200.0)
+        assert host.used_mib == pytest.approx(200.0)
+        assert host.partial_resident_fraction == pytest.approx(200.0 / 4096.0)
+
+    def test_grow_respects_capacity(self):
+        host, vm = self._host_with_partial(capacity=200.0)
+        with pytest.raises(CapacityError):
+            host.grow_partial_vm(vm.vm_id, 100.0)
+
+    def test_grow_caps_at_allocation(self):
+        host, vm = self._host_with_partial(capacity=8192.0, ws=4000.0)
+        host.grow_partial_vm(vm.vm_id, 500.0)
+        assert vm.working_set_mib == pytest.approx(4096.0)
+        assert host.used_mib == pytest.approx(4096.0)
+
+
+class TestServedImages:
+    def test_add_remove(self):
+        host = make_host()
+        host.add_served_image(1)
+        host.add_served_image(2)
+        assert host.served_image_ids == {1, 2}
+        host.remove_served_image(1)
+        assert host.served_image_ids == {2}
+
+    def test_remove_is_idempotent(self):
+        host = make_host()
+        host.remove_served_image(42)  # no error
+        assert host.served_image_count == 0

@@ -1,0 +1,70 @@
+"""Cluster construction and aggregate queries."""
+
+import pytest
+
+from repro.cluster import Cluster, HostRole, PowerState
+from repro.errors import ConfigError
+from repro.vm import VirtualMachine
+
+
+class TestConstruction:
+    def test_host_counts_and_roles(self):
+        cluster = Cluster(home_hosts=3, consolidation_hosts=2,
+                          host_capacity_mib=1000.0)
+        assert len(cluster) == 5
+        assert len(cluster.home_hosts) == 3
+        assert len(cluster.consolidation_hosts) == 2
+
+    def test_dense_host_ids_homes_first(self):
+        cluster = Cluster(3, 2, 1000.0)
+        assert [h.host_id for h in cluster.home_hosts] == [0, 1, 2]
+        assert [h.host_id for h in cluster.consolidation_hosts] == [3, 4]
+
+    def test_memory_servers_only_on_compute_hosts(self):
+        cluster = Cluster(2, 2, 1000.0)
+        assert all(h.memory_server_enabled for h in cluster.home_hosts)
+        assert not any(
+            h.memory_server_enabled for h in cluster.consolidation_hosts
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Cluster(0, 1, 1000.0)
+        with pytest.raises(ConfigError):
+            Cluster(1, 0, 1000.0)
+
+    def test_unknown_host_lookup(self):
+        with pytest.raises(ConfigError):
+            Cluster(1, 1, 1000.0).host(99)
+
+
+class TestAggregates:
+    def test_powered_counts(self):
+        cluster = Cluster(2, 2, 1000.0)
+        cluster.host(3).power_state = PowerState.SLEEPING
+        assert cluster.powered_host_count() == 3
+        assert cluster.powered_home_count() == 2
+        assert cluster.powered_consolidation_count() == 1
+
+    def test_total_running_vms(self):
+        cluster = Cluster(2, 1, 10_000.0)
+        cluster.host(0).attach(VirtualMachine(1, 0, 4096.0))
+        cluster.host(1).attach(VirtualMachine(2, 1, 4096.0))
+        assert cluster.total_running_vms() == 2
+
+    def test_invariant_checker_passes_consistent_state(self):
+        cluster = Cluster(1, 1, 10_000.0)
+        cluster.host(0).attach(VirtualMachine(1, 0, 4096.0))
+        cluster.check_invariants()
+
+    def test_invariant_checker_catches_drift(self):
+        cluster = Cluster(1, 1, 10_000.0)
+        host = cluster.host(0)
+        host.attach(VirtualMachine(1, 0, 4096.0))
+        host._used_mib = 1.0  # corrupt the incremental accounting
+        with pytest.raises(AssertionError):
+            cluster.check_invariants()
+
+    def test_roles_enum_values(self):
+        assert HostRole.COMPUTE.value == "compute"
+        assert HostRole.CONSOLIDATION.value == "consolidation"

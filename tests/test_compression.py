@@ -1,0 +1,125 @@
+"""The from-scratch LZ77 codec: round-trips, ratios, malformed streams."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CompressionError
+from repro.memserver import Lz77Codec, compress, decompress
+from repro.memserver.pages import (
+    MEASURED_COMPRESSION_RATIO,
+    PAGE_BYTES,
+    PageKind,
+    SyntheticPageFactory,
+)
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        assert decompress(compress(b"")) == b""
+
+    def test_single_byte(self):
+        assert decompress(compress(b"x")) == b"x"
+
+    def test_text(self):
+        data = b"the quick brown fox jumps over the lazy dog " * 50
+        assert decompress(compress(data)) == data
+
+    def test_zero_page(self):
+        page = bytes(PAGE_BYTES)
+        blob = compress(page)
+        assert decompress(blob) == page
+        assert len(blob) < PAGE_BYTES * 0.05
+
+    def test_random_data_roundtrips_despite_expansion(self):
+        rng = random.Random(0)
+        data = bytes(rng.randrange(256) for _ in range(PAGE_BYTES))
+        blob = compress(data)
+        assert decompress(blob) == data
+        # Incompressible data pays bounded token overhead.
+        assert len(blob) <= len(data) * 1.05
+
+    def test_overlapping_match_rle(self):
+        data = b"a" * 1000
+        blob = compress(data)
+        assert decompress(blob) == data
+        assert len(blob) < 40
+
+    def test_all_synthetic_page_kinds(self):
+        factory = SyntheticPageFactory(seed=1)
+        for kind in PageKind:
+            page = factory.make(kind)
+            assert decompress(compress(page)) == page
+
+    @given(data=st.binary(max_size=2048))
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert decompress(compress(data)) == data
+
+    @given(
+        word=st.binary(min_size=1, max_size=16),
+        repeats=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_repetitive_input_compresses(self, word, repeats):
+        data = word * repeats
+        blob = compress(data)
+        assert decompress(blob) == data
+        if len(data) > 256:
+            assert len(blob) < len(data)
+
+
+class TestChainLimit:
+    def test_higher_chain_limit_never_much_worse(self):
+        factory = SyntheticPageFactory(seed=2)
+        page = factory.make(PageKind.TEXT)
+        fast = Lz77Codec(chain_limit=2).compress(page)
+        thorough = Lz77Codec(chain_limit=64).compress(page)
+        assert len(thorough) <= len(fast) * 1.02
+        assert Lz77Codec.decompress(thorough) == page
+
+    def test_chain_limit_validation(self):
+        with pytest.raises(CompressionError):
+            Lz77Codec(chain_limit=0)
+
+
+class TestMeasuredRatios:
+    """The statistical image models rely on these per-class constants;
+    this pins the real codec to them."""
+
+    @pytest.mark.parametrize("kind,tolerance", [
+        (PageKind.ZERO, 0.005),
+        (PageKind.TEXT, 0.05),
+        (PageKind.CODE, 0.08),
+        (PageKind.RANDOM, 0.01),
+    ])
+    def test_ratio_matches_constant(self, kind, tolerance):
+        factory = SyntheticPageFactory(seed=3)
+        raw = 0
+        packed = 0
+        for page in factory.make_many(kind, 12):
+            raw += len(page)
+            packed += len(compress(page))
+        measured = packed / raw
+        assert measured == pytest.approx(
+            MEASURED_COMPRESSION_RATIO[kind], abs=tolerance
+        )
+
+
+class TestMalformedStreams:
+    def test_truncated_literal_run(self):
+        with pytest.raises(CompressionError):
+            decompress(bytes([0x05, 0x61]))  # claims 6 literals, has 1
+
+    def test_truncated_match_token(self):
+        with pytest.raises(CompressionError):
+            decompress(bytes([0x80, 0x01]))  # missing distance byte
+
+    def test_zero_distance_rejected(self):
+        with pytest.raises(CompressionError):
+            decompress(bytes([0x00, 0x61, 0x80, 0x00, 0x00]))
+
+    def test_distance_beyond_output_rejected(self):
+        with pytest.raises(CompressionError):
+            decompress(bytes([0x00, 0x61, 0x80, 0x10, 0x00]))

@@ -1,0 +1,137 @@
+"""Cluster-manager decisions: activations and exchanges per policy."""
+
+import random
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import (
+    ActivationAction,
+    ClusterManager,
+    DEFAULT,
+    FULL_TO_PARTIAL,
+    NEW_HOME,
+    ONLY_PARTIAL,
+)
+from repro.vm import VirtualMachine, VmActivity, WorkingSetSampler
+
+
+def build(policy, homes=2, consolidation=2, capacity=3 * 4096.0):
+    cluster = Cluster(homes, consolidation, capacity)
+    manager = ClusterManager(
+        cluster, policy, WorkingSetSampler(), random.Random(0)
+    )
+    return cluster, manager
+
+
+def consolidated_partial(cluster, vm_id=1, home=0, dest=None, ws=160.0):
+    dest = dest if dest is not None else cluster.consolidation_hosts[0].host_id
+    vm = VirtualMachine(vm_id, home, 4096.0)
+    vm.become_partial(dest, ws)
+    cluster.host(dest).attach(vm)
+    cluster.host(home).add_served_image(vm_id)
+    return vm
+
+
+class TestActivationDecisions:
+    def test_full_vm_needs_nothing(self):
+        cluster, manager = build(DEFAULT)
+        vm = VirtualMachine(1, 0, 4096.0)
+        cluster.host(0).attach(vm)
+        decision = manager.decide_activation(vm)
+        assert decision.action is ActivationAction.ALREADY_FULL
+
+    def test_partial_with_space_converts_in_place(self):
+        cluster, manager = build(DEFAULT)
+        vm = consolidated_partial(cluster)
+        decision = manager.decide_activation(vm)
+        assert decision.action is ActivationAction.CONVERT_IN_PLACE
+        assert decision.target_host_id == vm.host_id
+
+    def test_partial_without_space_wakes_home(self):
+        cluster, manager = build(DEFAULT, capacity=4096.0)
+        # Fill the consolidation host so the conversion cannot fit.
+        filler = VirtualMachine(9, 1, 4096.0)
+        filler.become_partial(2, 3900.0)
+        cluster.host(2).attach(filler)
+        vm = consolidated_partial(cluster, vm_id=1, home=0, dest=2, ws=150.0)
+        decision = manager.decide_activation(vm)
+        assert decision.action is ActivationAction.WAKE_HOME_RETURN_ALL
+        assert decision.target_host_id == 0
+
+    def test_only_partial_always_returns_home(self):
+        cluster, manager = build(ONLY_PARTIAL)
+        vm = consolidated_partial(cluster)
+        decision = manager.decide_activation(vm)
+        assert decision.action is ActivationAction.WAKE_HOME_RETURN_ALL
+
+    def test_new_home_rehomes_before_waking(self):
+        cluster, manager = build(NEW_HOME, capacity=4096.0 + 200.0)
+        vm = consolidated_partial(cluster, ws=150.0)
+        # A second partial fills the host so the ~3.9 GiB in-place
+        # conversion cannot fit — but other powered hosts have room.
+        filler = consolidated_partial(cluster, vm_id=8, home=1, ws=300.0)
+        assert filler.host_id == vm.host_id
+        decision = manager.decide_activation(vm)
+        assert decision.action is ActivationAction.MIGRATE_NEW_HOME
+        assert decision.target_host_id != vm.host_id
+
+    def test_new_home_falls_back_to_waking_when_cluster_full(self):
+        cluster, manager = build(
+            NEW_HOME, homes=1, consolidation=1, capacity=4096.0 + 200.0
+        )
+        vm = consolidated_partial(cluster, dest=1, ws=150.0)
+        filler = VirtualMachine(8, 0, 4096.0)
+        filler.become_partial(1, 300.0)
+        cluster.host(1).attach(filler)
+        # Home host 0 is occupied by another full VM, leaving no space.
+        blocker = VirtualMachine(5, 0, 4096.0)
+        cluster.host(0).attach(blocker)
+        decision = manager.decide_activation(vm)
+        assert decision.action is ActivationAction.WAKE_HOME_RETURN_ALL
+
+
+class TestExchangePlanning:
+    def _with_idle_full_on_consolidation(self, policy):
+        cluster, manager = build(policy)
+        vm = VirtualMachine(1, 0, 4096.0)
+        vm.full_migrate(2)  # consolidated full VM
+        vm.set_activity(VmActivity.IDLE)
+        vm.idle_intervals = 2
+        cluster.host(2).attach(vm)
+        return cluster, manager, vm
+
+    def test_full_to_partial_plans_exchanges(self):
+        _cluster, manager, vm = self._with_idle_full_on_consolidation(
+            FULL_TO_PARTIAL
+        )
+        exchanges = manager.plan_exchanges()
+        assert len(exchanges) == 1
+        assert exchanges[0].vm_id == vm.vm_id
+        assert exchanges[0].origin_home_id == 0
+        assert exchanges[0].consolidation_host_id == 2
+        assert 0.0 < exchanges[0].working_set_mib <= 4096.0
+
+    def test_default_plans_no_exchanges(self):
+        _cluster, manager, _vm = self._with_idle_full_on_consolidation(DEFAULT)
+        assert manager.plan_exchanges() == []
+
+    def test_active_full_vms_not_exchanged(self):
+        cluster, manager, vm = self._with_idle_full_on_consolidation(
+            FULL_TO_PARTIAL
+        )
+        vm.set_activity(VmActivity.ACTIVE)
+        assert manager.plan_exchanges() == []
+
+    def test_partial_vms_not_exchanged(self):
+        cluster, manager = build(FULL_TO_PARTIAL)
+        consolidated_partial(cluster)
+        assert manager.plan_exchanges() == []
+
+    def test_fresh_idlers_wait_for_hysteresis(self):
+        cluster, manager, vm = self._with_idle_full_on_consolidation(
+            FULL_TO_PARTIAL
+        )
+        manager.min_idle_intervals = 3
+        vm.idle_intervals = 1
+        assert manager.plan_exchanges() == []

@@ -1,0 +1,100 @@
+"""Policy specifications and the plan data model."""
+
+import pytest
+
+from repro.core import (
+    ALL_POLICIES,
+    DEFAULT,
+    FULL_TO_PARTIAL,
+    NEW_HOME,
+    ONLY_PARTIAL,
+    ExchangePlan,
+    HostVacatePlan,
+    MigrationMode,
+    PlannedMigration,
+    PolicySpec,
+    policy_by_name,
+)
+from repro.errors import ConfigError
+
+
+class TestPolicies:
+    def test_the_four_paper_policies_exist(self):
+        assert [p.name for p in ALL_POLICIES] == [
+            "OnlyPartial", "Default", "FulltoPartial", "NewHome",
+        ]
+
+    def test_only_partial_never_moves_active_vms(self):
+        assert not ONLY_PARTIAL.full_migrate_active
+        assert not ONLY_PARTIAL.convert_in_place
+        assert not ONLY_PARTIAL.exchange_idle_full
+
+    def test_default_is_hybrid_without_exchange(self):
+        assert DEFAULT.full_migrate_active
+        assert DEFAULT.convert_in_place
+        assert not DEFAULT.exchange_idle_full
+        assert not DEFAULT.rehome_on_exhaustion
+
+    def test_full_to_partial_adds_exchange(self):
+        assert FULL_TO_PARTIAL.exchange_idle_full
+        assert not FULL_TO_PARTIAL.rehome_on_exhaustion
+
+    def test_new_home_adds_rehoming(self):
+        assert NEW_HOME.exchange_idle_full
+        assert NEW_HOME.rehome_on_exhaustion
+
+    def test_lookup_case_insensitive(self):
+        assert policy_by_name("fulltopartial") is FULL_TO_PARTIAL
+        assert policy_by_name("NEWHOME") is NEW_HOME
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ConfigError):
+            policy_by_name("Aggressive")
+
+    def test_exchange_requires_full_migrations(self):
+        with pytest.raises(ConfigError):
+            PolicySpec(
+                name="bad",
+                full_migrate_active=False,
+                convert_in_place=False,
+                exchange_idle_full=True,
+                rehome_on_exhaustion=False,
+            )
+
+
+class TestPlanDataModel:
+    def test_partial_migration_requires_working_set(self):
+        with pytest.raises(ConfigError):
+            PlannedMigration(1, 0, 5, MigrationMode.PARTIAL)
+
+    def test_full_migration_carries_no_working_set(self):
+        with pytest.raises(ConfigError):
+            PlannedMigration(1, 0, 5, MigrationMode.FULL, working_set_mib=100.0)
+
+    def test_source_differs_from_destination(self):
+        with pytest.raises(ConfigError):
+            PlannedMigration(1, 3, 3, MigrationMode.FULL)
+
+    def test_vacate_plan_counts_modes(self):
+        plan = HostVacatePlan(0, [
+            PlannedMigration(1, 0, 5, MigrationMode.PARTIAL, 100.0),
+            PlannedMigration(2, 0, 5, MigrationMode.FULL),
+            PlannedMigration(3, 0, 6, MigrationMode.PARTIAL, 120.0),
+        ])
+        assert plan.partial_count == 2
+        assert plan.full_count == 1
+
+    def test_vacate_plan_rejects_foreign_sources(self):
+        with pytest.raises(ConfigError):
+            HostVacatePlan(0, [PlannedMigration(1, 9, 5, MigrationMode.FULL)])
+
+    def test_vacate_plan_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            HostVacatePlan(0, [])
+
+    def test_exchange_plan_validation(self):
+        with pytest.raises(ConfigError):
+            ExchangePlan(1, consolidation_host_id=3, origin_home_id=3,
+                         working_set_mib=100.0)
+        with pytest.raises(ConfigError):
+            ExchangePlan(1, 3, 0, working_set_mib=0.0)

@@ -1,0 +1,248 @@
+"""Control plane end to end: the §4.1 protocol flows."""
+
+import pytest
+
+from repro.deploy import Deployment, VmConfigFile
+from repro.deploy.messages import (
+    Ack,
+    MigrationOrder,
+    Nack,
+    StatsReport,
+    SuspendOrder,
+    WakeOnLan,
+)
+from repro.errors import ConfigError
+from repro.vm.state import Residency
+
+
+def make_deployment(**kwargs):
+    defaults = dict(home_hosts=2, consolidation_hosts=1, vms_per_host_hint=2)
+    defaults.update(kwargs)
+    return Deployment(**defaults)
+
+
+def populate(deployment, count=4, first_vmid=1001):
+    for vmid in range(first_vmid, first_vmid + count):
+        deployment.create_vm(
+            VmConfigFile(vmid=vmid, disk_image=f"/nfs/disks/{vmid}.img")
+        )
+    deployment.run_for(5.0)
+    return list(range(first_vmid, first_vmid + count))
+
+
+class TestVmCreation:
+    def test_creation_places_vms_on_compute_hosts(self):
+        deployment = make_deployment()
+        vmids = populate(deployment)
+        assert deployment.manager.creations == vmids
+        for vmid in vmids:
+            host = deployment.find_vm_host(vmid)
+            assert host is not None
+            assert host.host_id in (0, 1)  # compute hosts
+
+    def test_creation_balances_by_free_memory(self):
+        deployment = make_deployment()
+        vmids = populate(deployment)
+        placements = [deployment.find_vm_host(v).host_id for v in vmids]
+        assert placements.count(0) == 2
+        assert placements.count(1) == 2
+
+    def test_client_receives_acks(self):
+        deployment = make_deployment()
+        populate(deployment, count=2)
+        assert len(deployment.client.acks) == 2
+        assert deployment.client.nacks == []
+
+    def test_unknown_config_path_nacked(self):
+        deployment = make_deployment()
+        deployment.client.create_vm("/nfs/vms/ghost.cfg")
+        deployment.run_for(1.0)
+        assert len(deployment.client.nacks) == 1
+
+    def test_creation_fails_when_cluster_full(self):
+        deployment = make_deployment(vms_per_host_hint=1)
+        populate(deployment, count=2)
+        deployment.create_vm(
+            VmConfigFile(vmid=1999, disk_image="/nfs/disks/1999.img")
+        )
+        deployment.run_for(1.0)
+        assert any(n.request == "create" for n in deployment.client.nacks)
+
+
+class TestConsolidationFlow:
+    def test_idle_cluster_consolidates_and_homes_sleep(self):
+        deployment = make_deployment()
+        vmids = populate(deployment)
+        deployment.run_for(1300.0)
+        assert deployment.powered_hosts() == [2]
+        for vmid in vmids:
+            vm = deployment.find_vm_host(vmid).get_vm(vmid)
+            assert vm.residency is Residency.PARTIAL
+        deployment.check_consistency()
+
+    def test_migration_orders_flow_over_the_bus(self):
+        deployment = make_deployment()
+        populate(deployment)
+        deployment.run_for(1300.0)
+        orders = deployment.bus.messages_of_type(MigrationOrder)
+        assert len(orders) == 4
+        assert all(order.destination == 2 for order in orders)
+
+    def test_suspend_waits_for_migration_acks(self):
+        deployment = make_deployment()
+        populate(deployment)
+        deployment.run_for(1300.0)
+        log = deployment.bus.log
+        first_suspend = min(
+            (i for i, (_t, _s, _d, m) in enumerate(log)
+             if isinstance(m, SuspendOrder)),
+        )
+        migration_acks = [
+            i for i, (_t, _s, _d, m) in enumerate(log)
+            if isinstance(m, Ack) and m.request == "migrated"
+        ]
+        assert migration_acks, "no migration acks seen"
+        # At least one ack from each home precedes its suspend order.
+        assert min(migration_acks) < first_suspend
+
+    def test_wake_on_lan_precedes_placement_on_sleeping_hosts(self):
+        deployment = make_deployment()
+        populate(deployment)
+        deployment.run_for(1300.0)
+        log = deployment.bus.log
+        wol_index = min(
+            i for i, (_t, _s, _d, m) in enumerate(log)
+            if isinstance(m, WakeOnLan) and m.host_id == 2
+        )
+        first_arrival = min(
+            i for i, (_t, _s, d, m) in enumerate(log)
+            if d == "agent-2" and isinstance(m, MigrationOrder) is False
+            and type(m).__name__ == "VmDescriptorPush"
+        )
+        assert wol_index < first_arrival
+
+    def test_stats_reports_flow(self):
+        deployment = make_deployment()
+        populate(deployment)
+        deployment.run_for(305.0)
+        reports = deployment.bus.messages_of_type(StatsReport)
+        assert len(reports) >= 4  # several hosts x several intervals
+        sample = reports[-1]
+        assert 0.0 <= sample.memory_utilization <= 1.0
+
+
+class TestActivationFlow:
+    def _consolidated(self):
+        deployment = make_deployment()
+        vmids = populate(deployment)
+        deployment.run_for(1300.0)
+        return deployment, vmids
+
+    def test_activation_converts_in_place(self):
+        deployment, vmids = self._consolidated()
+        deployment.set_vm_activity(vmids[0], True)
+        deployment.run_for(30.0)
+        vm = deployment.find_vm_host(vmids[0]).get_vm(vmids[0])
+        assert vm.residency is Residency.FULL
+        assert vm.home_id == 2  # re-homed to the consolidation host
+        deployment.check_consistency()
+
+    def test_exchange_restores_partial_after_idling(self):
+        deployment, vmids = self._consolidated()
+        deployment.set_vm_activity(vmids[0], True)
+        deployment.run_for(400.0)
+        deployment.set_vm_activity(vmids[0], False)
+        deployment.run_for(900.0)
+        vm = deployment.find_vm_host(vmids[0]).get_vm(vmids[0])
+        assert vm.residency is Residency.PARTIAL
+        assert vm.home_id == vm.origin_home_id
+        # The temporarily woken home went back to sleep.
+        assert deployment.powered_hosts() == [2]
+        deployment.check_consistency()
+
+    def test_image_release_notice_cleans_old_home(self):
+        deployment, vmids = self._consolidated()
+        vmid = vmids[0]
+        vm = deployment.find_vm_host(vmid).get_vm(vmid)
+        origin = deployment.hosts[vm.origin_home_id]
+        assert vmid in origin.served_image_ids
+        deployment.set_vm_activity(vmid, True)
+        deployment.run_for(30.0)
+        assert vmid not in origin.served_image_ids
+
+    def test_set_activity_on_unknown_vm(self):
+        deployment = make_deployment()
+        with pytest.raises(ConfigError):
+            deployment.set_vm_activity(4242, True)
+
+
+class TestProtocolEdges:
+    def test_migration_order_for_unknown_vm_is_nacked(self):
+        from repro.deploy.messages import MigrationOrder, MigrationType
+
+        deployment = make_deployment()
+        populate(deployment, count=1)
+        deployment.manager.endpoint.send(
+            "agent-0",
+            MigrationOrder(
+                vmid=9999, migration_type=MigrationType.FULL, destination=2
+            ),
+        )
+        deployment.run_for(1.0)
+        nacks = [
+            m for m in deployment.bus.messages_of_type(Nack)
+            if m.request == "migrate"
+        ]
+        assert nacks
+
+    def test_only_partial_policy_in_the_control_plane(self):
+        from repro.core import ONLY_PARTIAL
+
+        deployment = make_deployment(policy=ONLY_PARTIAL)
+        vmids = populate(deployment)
+        deployment.run_for(1300.0)
+        # Consolidated partials, homes asleep.
+        assert deployment.powered_hosts() == [2]
+        deployment.set_vm_activity(vmids[0], True)
+        deployment.run_for(60.0)
+        # OnlyPartial wakes the home and returns all of its VMs.
+        vm = deployment.find_vm_host(vmids[0]).get_vm(vmids[0])
+        assert vm.host_id == vm.origin_home_id
+        assert vm.residency is Residency.FULL
+        assert vm.origin_home_id in deployment.powered_hosts()
+        deployment.check_consistency()
+
+    def test_simultaneous_activations_all_convert(self):
+        deployment = make_deployment()
+        vmids = populate(deployment)
+        deployment.run_for(1300.0)
+        for vmid in vmids:
+            deployment.set_vm_activity(vmid, True)
+        deployment.run_for(120.0)
+        for vmid in vmids:
+            vm = deployment.find_vm_host(vmid).get_vm(vmid)
+            assert vm.residency is Residency.FULL
+        deployment.check_consistency()
+
+
+class TestOwnership:
+    def test_partial_vm_owner_stays_at_source(self):
+        # §4.2: while a partial VM runs at the destination, ownership
+        # remains with the source agent (it controls the memory server).
+        deployment = make_deployment()
+        vmids = populate(deployment)
+        deployment.run_for(1300.0)
+        for vmid in vmids:
+            vm = deployment.find_vm_host(vmid).get_vm(vmid)
+            origin_agent = deployment.agents[vm.origin_home_id]
+            consolidation_agent = deployment.agents[2]
+            assert vmid in origin_agent.owned_vmids
+            assert vmid not in consolidation_agent.owned_vmids
+
+    def test_ownership_transfers_on_conversion(self):
+        deployment = make_deployment()
+        vmids = populate(deployment)
+        deployment.run_for(1300.0)
+        deployment.set_vm_activity(vmids[0], True)
+        deployment.run_for(30.0)
+        assert vmids[0] in deployment.agents[2].owned_vmids

@@ -1,0 +1,76 @@
+"""Tariff and carbon accounting."""
+
+import pytest
+
+from repro.energy.costs import ElectricityTariff, SavingsStatement
+from repro.energy.report import EnergyReport
+from repro.errors import ConfigError
+from repro.units import wh_to_joules
+
+
+class TestTariff:
+    def test_facility_kwh_applies_pue(self):
+        tariff = ElectricityTariff(pue=1.5)
+        joules = wh_to_joules(1000.0)  # 1 IT kWh
+        assert tariff.facility_kwh(joules) == pytest.approx(1.5)
+
+    def test_cost_and_carbon(self):
+        tariff = ElectricityTariff(
+            usd_per_kwh=0.2, kg_co2_per_kwh=0.5, pue=1.0
+        )
+        joules = wh_to_joules(2000.0)
+        assert tariff.cost_usd(joules) == pytest.approx(0.4)
+        assert tariff.carbon_kg(joules) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ElectricityTariff(usd_per_kwh=-0.1)
+        with pytest.raises(ConfigError):
+            ElectricityTariff(pue=0.9)
+        with pytest.raises(ConfigError):
+            ElectricityTariff().facility_kwh(-1.0)
+
+
+class TestSavingsStatement:
+    def _statement(self, **kwargs):
+        report = EnergyReport(
+            managed_joules=wh_to_joules(70_000.0),
+            baseline_joules=wh_to_joules(100_000.0),
+        )
+        tariff = ElectricityTariff(
+            usd_per_kwh=0.10, kg_co2_per_kwh=0.4, pue=1.0
+        )
+        return SavingsStatement(report, tariff, **kwargs)
+
+    def test_daily_quantities(self):
+        statement = self._statement()
+        assert statement.daily_kwh == pytest.approx(30.0)
+        assert statement.daily_usd == pytest.approx(3.0)
+        assert statement.daily_carbon_kg == pytest.approx(12.0)
+
+    def test_annual_scaling(self):
+        statement = self._statement(days_per_year=100.0)
+        assert statement.annual_usd == pytest.approx(300.0)
+        assert statement.annual_carbon_kg == pytest.approx(1200.0)
+
+    def test_string_form(self):
+        text = str(self._statement())
+        assert "kWh/day" in text
+        assert "CO2" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            self._statement(days_per_year=0.0)
+
+    def test_integrates_with_a_real_run(self):
+        from repro.core import FULL_TO_PARTIAL
+        from repro.farm import FarmConfig, simulate_day
+        from repro.traces import DayType
+
+        result = simulate_day(
+            FarmConfig(home_hosts=4, consolidation_hosts=1, vms_per_host=4),
+            FULL_TO_PARTIAL, DayType.WEEKEND, seed=0,
+        )
+        statement = SavingsStatement(result.energy, ElectricityTariff())
+        assert statement.daily_usd > 0.0
+        assert statement.annual_carbon_kg > 0.0

@@ -1,0 +1,157 @@
+"""Full-scale (900 VM) runs: the DESIGN.md calibration bands.
+
+These runs take a couple of seconds each and pin the headline results:
+the shapes and magnitudes of the paper's evaluation must survive any
+refactoring of the engine.
+"""
+
+import pytest
+
+from repro.analysis import Cdf
+from repro.core import DEFAULT, FULL_TO_PARTIAL, NEW_HOME, ONLY_PARTIAL
+from repro.farm import FarmConfig, simulate_day
+from repro.traces import DayType
+
+
+@pytest.fixture(scope="module")
+def weekday_ftp():
+    return simulate_day(FarmConfig(), FULL_TO_PARTIAL, DayType.WEEKDAY, seed=7)
+
+
+@pytest.fixture(scope="module")
+def weekend_ftp():
+    return simulate_day(FarmConfig(), FULL_TO_PARTIAL, DayType.WEEKEND, seed=7)
+
+
+class TestHeadlineSavings:
+    def test_weekday_savings_in_paper_band(self, weekday_ftp):
+        # Paper: "up to 28% on weekdays".
+        assert 0.20 <= weekday_ftp.savings_fraction <= 0.36
+
+    def test_weekend_savings_in_paper_band(self, weekend_ftp):
+        # Paper: "43% on weekends".
+        assert 0.33 <= weekend_ftp.savings_fraction <= 0.53
+
+    def test_only_partial_saves_little(self):
+        result = simulate_day(FarmConfig(), ONLY_PARTIAL, DayType.WEEKDAY, seed=7)
+        assert 0.0 <= result.savings_fraction <= 0.12
+
+    def test_policy_ordering_matches_figure8(self):
+        savings = {}
+        for policy in (ONLY_PARTIAL, DEFAULT, FULL_TO_PARTIAL):
+            savings[policy.name] = simulate_day(
+                FarmConfig(), policy, DayType.WEEKDAY, seed=7
+            ).savings_fraction
+        assert savings["OnlyPartial"] < savings["Default"]
+        assert savings["Default"] < savings["FulltoPartial"]
+
+    def test_new_home_adds_little_over_full_to_partial(self, weekday_ftp):
+        new_home = simulate_day(FarmConfig(), NEW_HOME, DayType.WEEKDAY, seed=7)
+        assert abs(
+            new_home.savings_fraction - weekday_ftp.savings_fraction
+        ) < 0.06
+
+
+class TestFigure7Shape:
+    def test_activity_peaks_below_46_percent(self, weekday_ftp):
+        assert weekday_ftp.peak_active_vms <= 0.52 * 900
+
+    def test_cluster_shrinks_to_a_few_hosts_at_night(self, weekday_ftp):
+        # "all 900 VMs get consolidated into just three consolidation
+        # hosts" at the trough.
+        assert weekday_ftp.min_powered_hosts <= 5
+
+    def test_nearly_everything_powered_at_peak(self, weekday_ftp):
+        # All 30 homes plus the consolidation hosts are up at mid-day
+        # (a host caught mid-transition at the sampling instant may
+        # shave a count or two).
+        assert max(weekday_ftp.powered_hosts) >= 28
+
+    def test_powered_hosts_track_activity(self, weekday_ftp):
+        # Powered-host count must correlate with the active-VM series.
+        n = len(weekday_ftp.active_vms)
+        active = weekday_ftp.active_vms
+        powered = weekday_ftp.powered_hosts
+        mean_a = sum(active) / n
+        mean_p = sum(powered) / n
+        cov = sum((a - mean_a) * (p - mean_p)
+                  for a, p in zip(active, powered)) / n
+        var_a = sum((a - mean_a) ** 2 for a in active) / n
+        var_p = sum((p - mean_p) ** 2 for p in powered) / n
+        correlation = cov / (var_a ** 0.5 * var_p ** 0.5)
+        assert correlation > 0.7
+
+    def test_one_sample_per_interval(self, weekday_ftp):
+        assert len(weekday_ftp.sample_times_s) == 288
+        assert len(weekday_ftp.powered_hosts) == 288
+
+
+class TestFigure11Delays:
+    def test_most_transitions_are_zero_delay_at_default_config(self, weekday_ftp):
+        assert 0.45 <= weekday_ftp.zero_delay_fraction() <= 0.80
+
+    def test_nonzero_delays_are_seconds_not_minutes(self, weekday_ftp):
+        cdf = Cdf(weekday_ftp.delay_values())
+        assert cdf.percentile(99) <= 10.0
+        assert cdf.percentile(99.99) <= 25.0  # paper: ~19 s worst case
+
+    def test_zero_delay_declines_with_more_consolidation_hosts(self):
+        few = simulate_day(
+            FarmConfig(consolidation_hosts=2), FULL_TO_PARTIAL,
+            DayType.WEEKDAY, seed=7,
+        )
+        many = simulate_day(
+            FarmConfig(consolidation_hosts=12), FULL_TO_PARTIAL,
+            DayType.WEEKDAY, seed=7,
+        )
+        assert few.zero_delay_fraction() > 0.65
+        assert many.zero_delay_fraction() < 0.50
+
+
+class TestFigure9and10:
+    def test_full_to_partial_densest_consolidation(self, weekday_ftp):
+        default = simulate_day(FarmConfig(), DEFAULT, DayType.WEEKDAY, seed=7)
+        ftp_median = Cdf(weekday_ftp.consolidation_ratio_samples).median()
+        default_median = Cdf(default.consolidation_ratio_samples).median()
+        assert ftp_median > default_median
+
+    def test_full_to_partial_trades_traffic_for_energy(self, weekday_ftp):
+        default = simulate_day(FarmConfig(), DEFAULT, DayType.WEEKDAY, seed=7)
+        assert (
+            weekday_ftp.traffic.network_total_mib()
+            > default.traffic.network_total_mib()
+        )
+
+    def test_traffic_ledger_populated(self, weekday_ftp):
+        traffic = weekday_ftp.traffic
+        assert traffic.full_path_mib() > 0.0
+        assert traffic.partial_path_mib() > 0.0
+
+
+class TestConservation:
+    def test_every_vm_still_exists_exactly_once(self):
+        from repro.farm import FarmSimulation
+        from repro.traces import generate_ensemble
+
+        config = FarmConfig()
+        ensemble = generate_ensemble(900, DayType.WEEKDAY, seed=9)
+        simulation = FarmSimulation(config, FULL_TO_PARTIAL, ensemble, seed=9)
+        simulation.run()
+        simulation.cluster.check_invariants()
+        placed = sorted(
+            vm_id
+            for host in simulation.cluster
+            for vm_id in host.vm_ids
+        )
+        assert placed == list(range(900))
+        # Partial VMs have exactly one served image, at their home.
+        for vm in simulation.vms.values():
+            if vm.is_partial:
+                home = simulation.cluster.host(vm.home_id)
+                assert vm.vm_id in home.served_image_ids
+
+    def test_weekend_sleeps_more_than_weekday(self, weekday_ftp, weekend_ftp):
+        assert (
+            weekend_ftp.mean_home_sleep_fraction()
+            > weekday_ftp.mean_home_sleep_fraction()
+        )

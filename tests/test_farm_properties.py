@@ -1,0 +1,93 @@
+"""Property-based fuzzing of the farm engine.
+
+Random small workloads x random policies must always preserve the
+engine's global invariants: no VM is lost or duplicated, memory
+accounting never drifts, host state time adds up to the day, energy
+stays within physical bounds, and every reported metric is sane.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import HostRole
+from repro.core import ALL_POLICIES
+from repro.farm import FarmConfig, FarmSimulation
+from repro.traces import DayType, TraceEnsemble, UserDayTrace
+from repro.units import INTERVALS_PER_DAY, SECONDS_PER_DAY
+
+HOMES = 3
+VMS_PER_HOST = 2
+TOTAL_VMS = HOMES * VMS_PER_HOST
+
+
+def random_ensemble(seed: int) -> TraceEnsemble:
+    """A random-but-structured population: random active runs."""
+    rng = random.Random(seed)
+    traces = []
+    for user_id in range(TOTAL_VMS):
+        bits = [0] * INTERVALS_PER_DAY
+        for _ in range(rng.randint(0, 6)):
+            start = rng.randrange(INTERVALS_PER_DAY)
+            length = rng.randint(1, 40)
+            for index in range(start, min(start + length, INTERVALS_PER_DAY)):
+                bits[index] = 1
+        traces.append(UserDayTrace.from_bits(user_id, DayType.WEEKDAY, bits))
+    return TraceEnsemble(DayType.WEEKDAY, tuple(traces))
+
+
+@given(
+    trace_seed=st.integers(min_value=0, max_value=10_000),
+    policy_index=st.integers(min_value=0, max_value=len(ALL_POLICIES) - 1),
+    engine_seed=st.integers(min_value=0, max_value=1_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_engine_invariants_hold_for_any_workload(
+    trace_seed, policy_index, engine_seed
+):
+    config = FarmConfig(
+        home_hosts=HOMES, consolidation_hosts=1, vms_per_host=VMS_PER_HOST
+    )
+    policy = ALL_POLICIES[policy_index]
+    simulation = FarmSimulation(
+        config, policy, random_ensemble(trace_seed), seed=engine_seed
+    )
+    result = simulation.run()
+
+    # The full invariant battery (conservation, accounting, served
+    # images, state time, energy bounds, metric sanity).
+    from repro.farm import validate_simulation
+
+    validate_simulation(simulation)
+
+    assert result.traffic.network_total_mib() >= 0.0
+    # OnlyPartial never moves full images.
+    if policy.name == "OnlyPartial":
+        assert result.counters.full_migrations == 0
+        assert result.counters.conversions_in_place == 0
+
+
+@given(
+    trace_seed=st.integers(min_value=0, max_value=10_000),
+    engine_seed=st.integers(min_value=0, max_value=1_000),
+)
+@settings(max_examples=10, deadline=None)
+def test_runs_are_deterministic(trace_seed, engine_seed):
+    config = FarmConfig(
+        home_hosts=HOMES, consolidation_hosts=1, vms_per_host=VMS_PER_HOST
+    )
+    ensemble = random_ensemble(trace_seed)
+    first = FarmSimulation(
+        config, ALL_POLICIES[2], ensemble, seed=engine_seed
+    ).run()
+    second = FarmSimulation(
+        config, ALL_POLICIES[2], ensemble, seed=engine_seed
+    ).run()
+    assert first.energy.managed_joules == second.energy.managed_joules
+    assert first.delay_values() == second.delay_values()
+    assert first.powered_hosts == second.powered_hosts
+    assert (
+        first.traffic.network_total_mib()
+        == second.traffic.network_total_mib()
+    )

@@ -1,0 +1,52 @@
+"""Week-level projections."""
+
+import pytest
+
+from repro.core import FULL_TO_PARTIAL
+from repro.errors import ConfigError
+from repro.farm import FarmConfig
+from repro.farm.week import WeekReport, simulate_week
+
+
+@pytest.fixture(scope="module")
+def small_week():
+    config = FarmConfig(home_hosts=6, consolidation_hosts=1, vms_per_host=5)
+    return simulate_week(config, FULL_TO_PARTIAL, seed=3)
+
+
+class TestSimulateWeek:
+    def test_week_has_seven_days(self, small_week):
+        assert len(small_week.weekday_results) == 5
+        assert len(small_week.weekend_results) == 2
+
+    def test_days_use_independent_seeds(self, small_week):
+        seeds = [r.seed for r in small_week.weekday_results]
+        assert len(set(seeds)) == 5
+
+    def test_weekly_savings_between_day_types(self, small_week):
+        weekday_mean = sum(
+            r.savings_fraction for r in small_week.weekday_results
+        ) / 5
+        weekend_mean = sum(
+            r.savings_fraction for r in small_week.weekend_results
+        ) / 2
+        low, high = sorted((weekday_mean, weekend_mean))
+        assert low <= small_week.savings_fraction <= high
+
+    def test_energy_totals_sum(self, small_week):
+        total = sum(
+            r.energy.managed_joules
+            for r in small_week.weekday_results + small_week.weekend_results
+        )
+        assert small_week.managed_joules == pytest.approx(total)
+
+    def test_annual_projection_scales(self, small_week):
+        assert small_week.projected_annual_kwh() == pytest.approx(
+            52.0 * small_week.saved_kwh
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            simulate_week(FarmConfig(), FULL_TO_PARTIAL, weekdays=0)
+        with pytest.raises(ConfigError):
+            WeekReport([], [])

@@ -1,0 +1,109 @@
+"""Link models and the page-service daemon."""
+
+import pytest
+
+from repro.energy import MemoryServerProfile
+from repro.errors import ConfigError
+from repro.memserver import (
+    GIGE_LINK,
+    MemoryServer,
+    PageServiceModel,
+    PageStore,
+    SAS_LINK,
+    TEN_GIGE_LINK,
+    TransferLink,
+)
+from repro.memserver.pages import PAGE_BYTES
+
+
+class TestTransferLink:
+    def test_transfer_time_includes_setup(self):
+        link = TransferLink("test", bandwidth_mib_per_s=100.0, setup_s=1.0)
+        assert link.transfer_s(200.0) == pytest.approx(3.0)
+
+    def test_per_op_overhead(self):
+        link = TransferLink("test", 100.0, per_op_s=0.01)
+        assert link.transfer_s(100.0, operations=10) == pytest.approx(1.1)
+
+    def test_zero_size_zero_ops_is_free(self):
+        link = TransferLink("test", 100.0, setup_s=1.0)
+        assert link.transfer_s(0.0, operations=0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TransferLink("bad", 0.0)
+        with pytest.raises(ConfigError):
+            TransferLink("bad", 1.0, setup_s=-1.0)
+        with pytest.raises(ConfigError):
+            GIGE_LINK.transfer_s(-5.0)
+
+    def test_standard_links(self):
+        assert SAS_LINK.bandwidth_mib_per_s == 128.0
+        assert TEN_GIGE_LINK.bandwidth_mib_per_s == pytest.approx(
+            10 * GIGE_LINK.bandwidth_mib_per_s
+        )
+
+
+class TestPageServiceModel:
+    def test_per_fault_budget_is_about_4ms(self):
+        # The prototype's spinning-disk path (Figure 6 calibration).
+        assert PageServiceModel().per_fault_s == pytest.approx(0.004, abs=0.0005)
+
+    def test_dram_backed_is_much_faster(self):
+        disk = PageServiceModel()
+        dram = PageServiceModel.dram_backed()
+        assert dram.per_fault_s < 0.25 * disk.per_fault_s
+
+    def test_fetch_time_scales_with_pages(self):
+        model = PageServiceModel()
+        assert model.fetch_time_s(200) == pytest.approx(200 * model.per_fault_s)
+
+    def test_fetch_time_for_mib(self):
+        model = PageServiceModel()
+        assert model.fetch_time_for_mib(1.0) == pytest.approx(
+            256 * model.per_fault_s
+        )
+
+    def test_tls_knob_adds_latency(self):
+        plain = PageServiceModel()
+        secured = PageServiceModel(tls_s=0.001)
+        assert secured.per_fault_s == pytest.approx(plain.per_fault_s + 0.001)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PageServiceModel(disk_read_s=-1.0)
+        with pytest.raises(ConfigError):
+            PageServiceModel().fetch_time_s(-1)
+
+
+class TestMemoryServer:
+    def _server_with_page(self):
+        store = PageStore()
+        store.upload(3, {0: bytes(PAGE_BYTES)})
+        return MemoryServer(host_id=0, store=store)
+
+    def test_serving_lifecycle(self):
+        server = self._server_with_page()
+        with pytest.raises(ConfigError):
+            server.serve_page(3, 0)  # not serving yet
+        server.start_serving()
+        blob = server.serve_page(3, 0)
+        assert blob  # compressed page bytes
+        assert server.requests_served == 1
+        server.stop_serving()
+        with pytest.raises(ConfigError):
+            server.serve_page(3, 0)
+
+    def test_serving_requires_store(self):
+        server = MemoryServer(host_id=0)
+        server.start_serving()
+        with pytest.raises(ConfigError):
+            server.serve_page(1, 0)
+
+    def test_power_matches_profile(self):
+        server = MemoryServer(host_id=0)
+        assert server.power_w == pytest.approx(42.2)
+        lean = MemoryServer(
+            host_id=0, profile=MemoryServerProfile.alternative(2.0)
+        )
+        assert lean.power_w == 2.0

@@ -1,0 +1,112 @@
+"""Page store: uploads, differential uploads, page service."""
+
+import pytest
+
+from repro.errors import MigrationError
+from repro.memserver import Lz77Codec, PageStore
+from repro.memserver.pages import PAGE_BYTES, PageKind, SyntheticPageFactory
+
+
+@pytest.fixture
+def pages():
+    factory = SyntheticPageFactory(seed=5)
+    return {
+        pfn: factory.make(PageKind.TEXT if pfn % 2 else PageKind.CODE)
+        for pfn in range(16)
+    }
+
+
+class TestUpload:
+    def test_initial_upload_sends_everything(self, pages):
+        store = PageStore()
+        receipt = store.upload(7, pages)
+        assert receipt.pages_sent == 16
+        assert not receipt.differential
+        assert receipt.raw_mib == pytest.approx(16 * 4 / 1024)
+        assert store.image_page_count(7) == 16
+
+    def test_upload_compresses(self, pages):
+        receipt = PageStore().upload(7, pages)
+        assert 0.0 < receipt.compression_ratio < 1.0
+        assert receipt.compressed_mib < receipt.raw_mib
+
+    def test_upload_time_uses_sas_link(self, pages):
+        receipt = PageStore().upload(7, pages)
+        # setup (0.5 s) plus compressed transfer at 128 MiB/s.
+        expected = 0.5 + receipt.compressed_mib / 128.0
+        assert receipt.upload_s == pytest.approx(expected)
+
+    def test_differential_upload_sends_only_dirty(self, pages):
+        store = PageStore()
+        store.upload(7, pages)
+        receipt = store.upload(7, pages, dirty_pfns=[1, 3])
+        assert receipt.differential
+        assert receipt.pages_sent == 2
+
+    def test_differential_updates_content(self, pages):
+        store = PageStore()
+        store.upload(7, pages)
+        modified = dict(pages)
+        modified[3] = bytes(PAGE_BYTES)
+        store.upload(7, modified, dirty_pfns=[3])
+        assert store.fetch_page(7, 3) == bytes(PAGE_BYTES)
+        assert store.fetch_page(7, 1) == pages[1]
+
+    def test_dirty_pfn_must_exist_in_pages(self, pages):
+        store = PageStore()
+        store.upload(7, pages)
+        with pytest.raises(MigrationError):
+            store.upload(7, pages, dirty_pfns=[999])
+
+    def test_wrong_page_size_rejected(self):
+        with pytest.raises(MigrationError):
+            PageStore().upload(7, {0: b"short"})
+
+    def test_empty_upload(self):
+        receipt = PageStore().upload(7, {})
+        assert receipt.pages_sent == 0
+        assert receipt.upload_s == 0.0
+        assert receipt.compression_ratio == 1.0
+
+
+class TestService:
+    def test_fetch_roundtrips(self, pages):
+        store = PageStore()
+        store.upload(7, pages)
+        for pfn, raw in pages.items():
+            assert store.fetch_page(7, pfn) == raw
+
+    def test_fetch_compressed_is_wire_format(self, pages):
+        store = PageStore()
+        store.upload(7, pages)
+        blob = store.fetch_compressed(7, 0)
+        assert Lz77Codec.decompress(blob) == pages[0]
+
+    def test_fetch_unknown_page(self, pages):
+        store = PageStore()
+        store.upload(7, pages)
+        with pytest.raises(MigrationError):
+            store.fetch_page(7, 999)
+
+    def test_fetch_unknown_vm(self):
+        with pytest.raises(MigrationError):
+            PageStore().fetch_page(1, 0)
+
+    def test_release_frees_image(self, pages):
+        store = PageStore()
+        store.upload(7, pages)
+        store.release(7)
+        assert not store.has_image(7)
+        with pytest.raises(MigrationError):
+            store.fetch_page(7, 0)
+
+    def test_release_is_idempotent(self):
+        PageStore().release(42)
+
+    def test_multiple_vm_images_isolated(self, pages):
+        store = PageStore()
+        store.upload(1, pages)
+        store.upload(2, {0: bytes(PAGE_BYTES)})
+        assert store.vm_ids() == {1, 2}
+        assert store.image_page_count(2) == 1
+        assert store.fetch_page(1, 0) == pages[0]

@@ -1,0 +1,187 @@
+"""Migration cost model, pre-copy, post-copy, and the traffic ledger."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, MigrationError
+from repro.memserver.link import GIGE_LINK, TEN_GIGE_LINK, TransferLink
+from repro.migration import (
+    MigrationCostModel,
+    PostCopyModel,
+    PreCopyModel,
+    TrafficCategory,
+    TrafficLedger,
+)
+
+
+class TestCostModel:
+    def test_paper_constants(self):
+        costs = MigrationCostModel()
+        assert costs.full_migration_s == 10.0
+        assert costs.partial_migration_s == 7.2
+        assert costs.reintegration_s == 3.7
+        assert costs.descriptor_mib_mean == 16.0
+        assert costs.on_demand_mib_mean == 56.9
+        assert costs.reintegration_mib_mean == 175.3
+
+    def test_occupancies_do_not_exceed_latencies(self):
+        costs = MigrationCostModel()
+        assert costs.partial_occupancy_s <= costs.partial_migration_s
+        assert costs.full_occupancy_s <= costs.full_migration_s
+        assert costs.reintegration_occupancy_s <= costs.reintegration_s
+
+    def test_samples_always_positive(self):
+        costs = MigrationCostModel(reintegration_mib_std=500.0)
+        rng = random.Random(0)
+        for _ in range(500):
+            assert costs.sample_reintegration_mib(rng) > 0.0
+            assert costs.sample_descriptor_mib(rng) > 0.0
+            assert costs.sample_on_demand_mib(rng) > 0.0
+            assert costs.sample_sas_upload_mib(rng) > 0.0
+
+    def test_sample_means(self):
+        costs = MigrationCostModel()
+        rng = random.Random(1)
+        samples = [costs.sample_on_demand_mib(rng) for _ in range(3000)]
+        assert sum(samples) / len(samples) == pytest.approx(56.9, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MigrationCostModel(full_migration_s=0.0)
+        with pytest.raises(ConfigError):
+            MigrationCostModel(descriptor_mib_std=-1.0)
+
+
+class TestPreCopy:
+    def test_idle_vm_close_to_single_pass(self):
+        result = PreCopyModel().migrate(4096.0, dirty_rate_mib_s=0.0)
+        # One pass at GigE plus setup; no iterative rounds needed.
+        assert result.total_s == pytest.approx(2.0 + 4096.0 / 117.0, abs=0.1)
+        assert result.round_count == 1
+        assert result.stop_and_copy_mib == 0.0
+
+    def test_paper_full_migration_about_41s(self):
+        result = PreCopyModel().migrate(4096.0, dirty_rate_mib_s=10.0)
+        assert 38.0 <= result.total_s <= 43.0
+
+    def test_rounds_shrink_geometrically(self):
+        result = PreCopyModel(stop_threshold_mib=1.0).migrate(
+            4096.0, dirty_rate_mib_s=20.0
+        )
+        for earlier, later in zip(result.rounds, result.rounds[1:]):
+            assert later < earlier
+
+    def test_transferred_at_least_memory(self):
+        result = PreCopyModel().migrate(4096.0, 30.0)
+        assert result.transferred_mib >= 4096.0
+
+    def test_divergent_dirty_rate_forces_stop_and_copy(self):
+        result = PreCopyModel().migrate(1024.0, dirty_rate_mib_s=500.0)
+        assert result.round_count == 1
+        assert result.downtime_s > 1.0
+
+    def test_max_rounds_bounds_iterations(self):
+        model = PreCopyModel(max_rounds=3, stop_threshold_mib=0.001)
+        result = model.migrate(4096.0, dirty_rate_mib_s=100.0)
+        assert result.round_count <= 3
+
+    def test_ten_gige_is_faster(self):
+        slow = PreCopyModel(link=GIGE_LINK).migrate(4096.0, 10.0)
+        fast = PreCopyModel(link=TEN_GIGE_LINK).migrate(4096.0, 10.0)
+        assert fast.total_s < 0.25 * slow.total_s
+
+    def test_validation(self):
+        with pytest.raises(MigrationError):
+            PreCopyModel().migrate(0.0, 1.0)
+        with pytest.raises(MigrationError):
+            PreCopyModel().migrate(100.0, -1.0)
+        with pytest.raises(ConfigError):
+            PreCopyModel(max_rounds=0)
+
+    @given(
+        memory=st.floats(min_value=64.0, max_value=8192.0),
+        dirty=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold_for_any_workload(self, memory, dirty):
+        result = PreCopyModel().migrate(memory, dirty)
+        assert result.total_s > 0.0
+        assert result.downtime_s >= 0.0
+        assert result.downtime_s <= result.total_s
+        assert result.transferred_mib >= memory
+
+
+class TestPostCopy:
+    def test_downtime_is_context_only(self):
+        model = PostCopyModel()
+        result = model.migrate(4096.0, working_set_mib=200.0)
+        assert result.downtime_s == pytest.approx(
+            model.link.transfer_s(model.context_mib)
+        )
+
+    def test_completion_after_downtime(self):
+        result = PostCopyModel().migrate(4096.0, 200.0)
+        assert result.completion_s > result.downtime_s
+
+    def test_post_copy_downtime_beats_precopy_total(self):
+        # The §2 trade-off: post-copy resumes almost immediately but
+        # degrades; pre-copy takes longer overall but keeps performance.
+        post = PostCopyModel().migrate(4096.0, 200.0)
+        pre = PreCopyModel().migrate(4096.0, 10.0)
+        assert post.downtime_s < 0.05 * pre.total_s
+
+    def test_prepaging_reduces_faults(self):
+        naive = PostCopyModel(prepaging_miss_factor=1.0).migrate(4096.0, 200.0)
+        adaptive = PostCopyModel(prepaging_miss_factor=0.1).migrate(4096.0, 200.0)
+        assert adaptive.demand_faults < naive.demand_faults
+
+    def test_validation(self):
+        with pytest.raises(MigrationError):
+            PostCopyModel().migrate(100.0, 200.0)
+        with pytest.raises(ConfigError):
+            PostCopyModel(prepaging_miss_factor=2.0)
+
+
+class TestTrafficLedger:
+    def test_add_and_query(self):
+        ledger = TrafficLedger()
+        ledger.add(TrafficCategory.FULL_MIGRATION, 4096.0)
+        ledger.add(TrafficCategory.FULL_MIGRATION, 4096.0)
+        assert ledger.mib(TrafficCategory.FULL_MIGRATION) == 8192.0
+        assert ledger.events(TrafficCategory.FULL_MIGRATION) == 2
+
+    def test_sas_traffic_not_in_network_total(self):
+        ledger = TrafficLedger()
+        ledger.add(TrafficCategory.MEMORY_UPLOAD_SAS, 1000.0)
+        ledger.add(TrafficCategory.PARTIAL_DESCRIPTOR, 16.0)
+        assert ledger.network_total_mib() == pytest.approx(16.0)
+
+    def test_partial_vs_full_path_split(self):
+        ledger = TrafficLedger()
+        ledger.add(TrafficCategory.FULL_MIGRATION, 100.0)
+        ledger.add(TrafficCategory.CONVERSION_PULL, 50.0)
+        ledger.add(TrafficCategory.PARTIAL_DESCRIPTOR, 10.0)
+        ledger.add(TrafficCategory.ON_DEMAND_PAGES, 20.0)
+        ledger.add(TrafficCategory.REINTEGRATION, 30.0)
+        assert ledger.full_path_mib() == pytest.approx(150.0)
+        assert ledger.partial_path_mib() == pytest.approx(60.0)
+
+    def test_merge(self):
+        a = TrafficLedger()
+        a.add(TrafficCategory.REINTEGRATION, 10.0)
+        b = TrafficLedger()
+        b.add(TrafficCategory.REINTEGRATION, 5.0)
+        a.merge(b)
+        assert a.mib(TrafficCategory.REINTEGRATION) == 15.0
+        assert a.events(TrafficCategory.REINTEGRATION) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            TrafficLedger().add(TrafficCategory.REINTEGRATION, -1.0)
+
+    def test_as_dict_covers_all_categories(self):
+        assert set(TrafficLedger().as_dict()) == {
+            category.value for category in TrafficCategory
+        }

@@ -1,0 +1,102 @@
+"""Per-host busy/release scheduling."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.migration import HostBusyScheduler
+
+
+class TestReserve:
+    def test_idle_host_starts_immediately(self):
+        scheduler = HostBusyScheduler()
+        start, end = scheduler.reserve(["a"], now=10.0, latency_s=5.0)
+        assert start == 10.0
+        assert end == 15.0
+
+    def test_operations_serialize_on_occupancy(self):
+        scheduler = HostBusyScheduler()
+        scheduler.reserve(["a"], 0.0, latency_s=5.0, occupancy_s=2.0)
+        start, end = scheduler.reserve(["a"], 0.0, latency_s=5.0, occupancy_s=2.0)
+        assert start == 2.0  # waits for the bottleneck, not the latency
+        assert end == 7.0
+
+    def test_latency_defaults_to_occupancy(self):
+        scheduler = HostBusyScheduler()
+        scheduler.reserve(["a"], 0.0, latency_s=5.0)
+        start, _end = scheduler.reserve(["a"], 0.0, latency_s=1.0)
+        assert start == 5.0
+
+    def test_storm_queueing(self):
+        # Thirty reintegrations to one woken home: starts spaced by the
+        # occupancy; each sees its own latency on top (Figure 11 tail).
+        scheduler = HostBusyScheduler()
+        ends = []
+        for _ in range(30):
+            _start, end = scheduler.reserve(
+                ["home"], 0.0, latency_s=3.7, occupancy_s=0.5
+            )
+            ends.append(end)
+        assert ends[0] == pytest.approx(3.7)
+        assert ends[-1] == pytest.approx(29 * 0.5 + 3.7)
+
+    def test_multi_host_operation_waits_for_all(self):
+        scheduler = HostBusyScheduler()
+        scheduler.reserve(["a"], 0.0, 4.0)
+        scheduler.reserve(["b"], 0.0, 9.0)
+        start, _end = scheduler.reserve(["a", "b"], 0.0, 1.0)
+        assert start == 9.0
+
+    def test_not_before_defers_start(self):
+        scheduler = HostBusyScheduler()
+        start, _end = scheduler.reserve(["a"], 0.0, 1.0, not_before=50.0)
+        assert start == 50.0
+
+    def test_independent_hosts_run_concurrently(self):
+        scheduler = HostBusyScheduler()
+        s1, _ = scheduler.reserve(["a"], 0.0, 5.0)
+        s2, _ = scheduler.reserve(["b"], 0.0, 5.0)
+        assert s1 == s2 == 0.0
+
+    def test_negative_durations_rejected(self):
+        scheduler = HostBusyScheduler()
+        with pytest.raises(SimulationError):
+            scheduler.reserve(["a"], 0.0, -1.0)
+        with pytest.raises(SimulationError):
+            scheduler.reserve(["a"], 0.0, 1.0, occupancy_s=-1.0)
+
+
+class TestRelease:
+    def test_release_covers_latency_even_with_short_occupancy(self):
+        scheduler = HostBusyScheduler()
+        scheduler.reserve(["a"], 0.0, latency_s=10.0, occupancy_s=1.0)
+        assert scheduler.busy_until("a") == 1.0
+        assert scheduler.release_after("a") == 10.0
+
+    def test_release_tracks_maximum(self):
+        scheduler = HostBusyScheduler()
+        scheduler.reserve(["a"], 0.0, latency_s=10.0, occupancy_s=1.0)
+        scheduler.reserve(["a"], 0.0, latency_s=2.0, occupancy_s=1.0)
+        assert scheduler.release_after("a") == 10.0
+
+    def test_extend(self):
+        scheduler = HostBusyScheduler()
+        scheduler.extend("a", 5.0)
+        assert scheduler.busy_until("a") == 5.0
+        scheduler.extend("a", 3.0)  # never shrinks
+        assert scheduler.busy_until("a") == 5.0
+
+    def test_clear_before_drops_stale_horizons(self):
+        scheduler = HostBusyScheduler()
+        scheduler.reserve(["a"], 0.0, 1.0)
+        scheduler.reserve(["b"], 0.0, 100.0)
+        scheduler.clear_before(50.0)
+        assert scheduler.busy_until("a") == 0.0
+        assert scheduler.busy_until("b") == 100.0
+
+    def test_resource_keys_are_independent(self):
+        # The engine keys by (resource, host): SAS uploads must not
+        # block NIC receives.
+        scheduler = HostBusyScheduler()
+        scheduler.reserve([("sas", 1)], 0.0, 60.0)
+        start, _ = scheduler.reserve([("nic", 1)], 0.0, 1.0)
+        assert start == 0.0

@@ -1,0 +1,136 @@
+"""Idle page-access models and sleep-opportunity analysis (Fig. 1-2)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pagesim import (
+    DATABASE_PROFILE,
+    DESKTOP_PROFILE,
+    IdleAccessModel,
+    SleepPolicy,
+    VmProfile,
+    WEB_PROFILE,
+    analyze_sleep,
+    mean_interarrival_s,
+    merge_request_streams,
+)
+
+
+class TestFigure1Footprints:
+    def test_one_hour_unique_footprints_match_paper(self):
+        assert DESKTOP_PROFILE.unique_mib(3600.0) == pytest.approx(188.2, rel=0.05)
+        assert WEB_PROFILE.unique_mib(3600.0) == pytest.approx(37.6, rel=0.05)
+        assert DATABASE_PROFILE.unique_mib(3600.0) == pytest.approx(30.6, rel=0.05)
+
+    def test_footprints_are_tiny_versus_4gib(self):
+        # "less than 5% of their nominal memory allocation" (§2).
+        for profile in (DESKTOP_PROFILE, WEB_PROFILE, DATABASE_PROFILE):
+            assert profile.unique_mib(3600.0) < 0.05 * 4096.0
+
+    def test_curve_is_monotone(self):
+        previous = -1.0
+        for minute in range(0, 61, 5):
+            value = DESKTOP_PROFILE.unique_mib(minute * 60.0)
+            assert value > previous
+            previous = value
+
+    def test_desktop_dwarfs_servers(self):
+        # The §5.6 generality argument rests on this ordering.
+        assert (
+            DESKTOP_PROFILE.unique_mib(3600.0)
+            > 3 * WEB_PROFILE.unique_mib(3600.0)
+        )
+
+    def test_unique_curve_sampling(self):
+        model = IdleAccessModel(WEB_PROFILE, random.Random(0))
+        curve = model.unique_curve(3600.0, step_s=600.0)
+        assert len(curve) == 7
+        assert curve[0] == (0.0, 0.0)
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigError):
+            VmProfile("bad", -1.0, 60.0, 0.0, 10.0, 1.0)
+        with pytest.raises(ConfigError):
+            VmProfile("bad", 1.0, 0.0, 0.0, 10.0, 1.0)
+        with pytest.raises(ConfigError):
+            DESKTOP_PROFILE.unique_mib(-1.0)
+
+
+class TestFigure2RequestStreams:
+    def test_single_database_vm_gap_is_about_3_9_minutes(self):
+        model = IdleAccessModel(DATABASE_PROFILE, random.Random(13))
+        times = model.request_times(12 * 3600.0)
+        assert mean_interarrival_s(times) == pytest.approx(234.0, rel=0.15)
+
+    def test_ten_vm_aggregate_gap_is_about_5_8_seconds(self):
+        rng = random.Random(13)
+        streams = [
+            IdleAccessModel(DATABASE_PROFILE, rng).request_times(6 * 3600.0)
+            for _ in range(5)
+        ] + [
+            IdleAccessModel(WEB_PROFILE, rng).request_times(6 * 3600.0)
+            for _ in range(5)
+        ]
+        merged = merge_request_streams(streams)
+        assert mean_interarrival_s(merged) == pytest.approx(5.8, rel=0.15)
+
+    def test_merge_sorts(self):
+        merged = merge_request_streams([[3.0, 1.0], [2.0]])
+        assert merged == [1.0, 2.0, 3.0]
+
+    def test_request_times_within_horizon(self):
+        model = IdleAccessModel(WEB_PROFILE, random.Random(1))
+        times = model.request_times(1000.0)
+        assert all(0.0 <= t < 1000.0 for t in times)
+
+    def test_mean_interarrival_needs_two_points(self):
+        with pytest.raises(ConfigError):
+            mean_interarrival_s([1.0])
+
+
+class TestSleepAnalysis:
+    def test_no_requests_sleeps_almost_everything(self):
+        analysis = analyze_sleep([], horizon_s=3600.0)
+        assert analysis.sleep_fraction > 0.99
+        assert analysis.transitions == 2
+
+    def test_single_vm_sleeps_most_of_the_time(self):
+        model = IdleAccessModel(DATABASE_PROFILE, random.Random(2))
+        times = model.request_times(6 * 3600.0)
+        analysis = analyze_sleep(times, 6 * 3600.0)
+        assert analysis.sleep_fraction > 0.9
+        assert analysis.energy_saving_fraction > 0.7
+
+    def test_ten_vms_collapse_the_savings(self):
+        rng = random.Random(3)
+        streams = [
+            IdleAccessModel(DATABASE_PROFILE, rng).request_times(6 * 3600.0)
+            for _ in range(5)
+        ] + [
+            IdleAccessModel(WEB_PROFILE, rng).request_times(6 * 3600.0)
+            for _ in range(5)
+        ]
+        analysis = analyze_sleep(merge_request_streams(streams), 6 * 3600.0)
+        # The §2 motivation: frequent wake-ups erase nearly all benefit.
+        assert analysis.energy_saving_fraction < 0.25
+
+    def test_gaps_below_round_trip_give_no_sleep(self):
+        times = [float(t) for t in range(0, 3600, 5)]  # 5 s gaps < 6.4 s
+        analysis = analyze_sleep(times, 3600.0)
+        assert analysis.sleep_s == 0.0
+        assert analysis.energy_saving_fraction == pytest.approx(0.0)
+
+    def test_minimum_useful_gap(self):
+        policy = SleepPolicy(linger_s=1.0)
+        assert policy.minimum_useful_gap_s == pytest.approx(1.0 + 3.1 + 2.3)
+
+    def test_sleep_time_excludes_transition_overheads(self):
+        analysis = analyze_sleep([1800.0], 3600.0)
+        overhead = SleepPolicy().minimum_useful_gap_s
+        assert analysis.sleep_s == pytest.approx(3600.0 - 2 * overhead)
+
+    def test_horizon_validation(self):
+        with pytest.raises(ConfigError):
+            analyze_sleep([], horizon_s=0.0)

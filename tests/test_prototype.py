@@ -1,0 +1,162 @@
+"""Prototype layer: image model, micro-benchmarks, apps, power meter."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memserver.server import PageServiceModel
+from repro.prototype import (
+    ConsolidationMicrobench,
+    MicrobenchConfig,
+    measure_energy_profiles,
+    startup_latency_table,
+    VmImageModel,
+)
+from repro.prototype.apps import prefetch_alternative_s, startup_latency
+from repro.vm.workload import APPLICATION_CATALOG, WORKLOAD_1, WORKLOAD_2
+
+
+class TestVmImageModel:
+    def test_fresh_image_is_fully_dirty(self):
+        image = VmImageModel()
+        assert image.dirty_mib == image.used_mib
+        assert image.used_mib == 500.0  # OS base only
+
+    def test_loading_workloads_grows_used_memory(self):
+        image = VmImageModel()
+        image.load_workload(WORKLOAD_1)
+        assert image.used_mib == pytest.approx(500.0 + WORKLOAD_1.resident_mib)
+        assert image.zero_mib == pytest.approx(4096.0 - image.used_mib)
+
+    def test_mark_uploaded_clears_dirty(self):
+        image = VmImageModel()
+        image.load_workload(WORKLOAD_1)
+        image.mark_uploaded()
+        assert image.dirty_mib == 0.0
+
+    def test_partial_dirty_fraction(self):
+        image = VmImageModel()
+        image.mark_uploaded()
+        image.load_workload(WORKLOAD_2, dirty_fraction=0.5)
+        assert image.dirty_mib == pytest.approx(0.5 * WORKLOAD_2.resident_mib)
+
+    def test_dirty_capped_at_used(self):
+        image = VmImageModel()
+        image.dirty(1e9)
+        assert image.dirty_mib == image.used_mib
+
+    def test_descriptor_size_matches_measured_16_mib(self):
+        # 8 bytes per PTE over 1M pages + ~8 MiB context = 16 MiB (§4.4.3).
+        assert VmImageModel().descriptor_mib() == pytest.approx(16.0, abs=0.5)
+
+    def test_compression_shrinks_used_image(self):
+        image = VmImageModel()
+        image.load_workload(WORKLOAD_1)
+        assert image.compressed_used_mib() < 0.7 * image.used_mib
+
+    def test_overflow_rejected(self):
+        image = VmImageModel(total_mib=600.0)
+        with pytest.raises(ConfigError):
+            image.load_workload(WORKLOAD_1)
+
+
+class TestFigure5Microbench:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return ConsolidationMicrobench().run()
+
+    def test_full_migration_about_41_seconds(self, report):
+        assert report.full_migration_s == pytest.approx(41.0, rel=0.1)
+
+    def test_first_partial_migration_about_15_7_seconds(self, report):
+        assert report.partial_migration_1_s == pytest.approx(15.7, rel=0.1)
+
+    def test_first_upload_about_10_2_seconds(self, report):
+        assert report.memory_upload_1_s == pytest.approx(10.2, rel=0.15)
+
+    def test_second_partial_migration_about_7_2_seconds(self, report):
+        # The differential-upload optimization (§4.3).
+        assert report.partial_migration_2_s == pytest.approx(7.2, rel=0.1)
+
+    def test_differential_upload_about_2_2_seconds(self, report):
+        assert report.memory_upload_2_s == pytest.approx(2.2, rel=0.25)
+
+    def test_reintegration_about_3_7_seconds(self, report):
+        assert report.reintegration_s == pytest.approx(3.7, rel=0.1)
+
+    def test_descriptor_push_lower_bound_about_5_2_seconds(self, report):
+        assert report.descriptor_push_s == pytest.approx(5.2, rel=0.1)
+
+    def test_partial_beats_full_migration(self, report):
+        assert report.partial_migration_1_s < 0.5 * report.full_migration_s
+        assert report.partial_migration_2_s < 0.25 * report.full_migration_s
+
+    def test_traffic_matches_section_4_4_3(self, report):
+        assert report.descriptor_mib == pytest.approx(16.0, abs=0.5)
+        assert report.on_demand_mib == pytest.approx(56.9)
+        assert report.reintegration_mib == pytest.approx(175.3)
+        # Full migration moves the whole image plus redirtied rounds.
+        assert report.full_migration_traffic_mib >= 4096.0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            MicrobenchConfig(w2_dirty_fraction=1.5)
+        with pytest.raises(ConfigError):
+            MicrobenchConfig(on_demand_mib=-1.0)
+
+
+class TestFigure6Startup:
+    def test_libreoffice_matches_paper_extreme(self):
+        entry = startup_latency(APPLICATION_CATALOG["libreoffice-doc"])
+        assert entry.partial_vm_s == pytest.approx(168.0, rel=0.07)
+        assert entry.slowdown == pytest.approx(111.0, rel=0.1)
+
+    def test_every_app_slows_down_dramatically(self):
+        for entry in startup_latency_table().values():
+            assert entry.slowdown > 20.0
+
+    def test_slowdowns_capped_by_paper_maximum(self):
+        worst = max(e.slowdown for e in startup_latency_table().values())
+        assert worst <= 120.0  # "up to 111 times longer"
+
+    def test_prefetching_the_vm_beats_demand_start(self):
+        # Figure 6's punchline: 41 s for everything vs 168 s for one app.
+        lo = startup_latency(APPLICATION_CATALOG["libreoffice-doc"])
+        assert prefetch_alternative_s() < lo.partial_vm_s / 3.0
+
+    def test_dram_backed_server_would_fix_startup(self):
+        fast = startup_latency(
+            APPLICATION_CATALOG["libreoffice-doc"],
+            service=PageServiceModel.dram_backed(),
+        )
+        assert fast.partial_vm_s < 35.0
+
+
+class TestTable1PowerMeter:
+    @pytest.fixture(scope="class")
+    def readings(self):
+        return {
+            (r.device, r.state): r for r in measure_energy_profiles()
+        }
+
+    def test_idle_host(self, readings):
+        assert readings[("Custom host", "Idle")].power_w == pytest.approx(102.2)
+
+    def test_twenty_vms(self, readings):
+        assert readings[("Custom host", "20 VMs")].power_w == pytest.approx(137.9)
+
+    def test_suspend(self, readings):
+        row = readings[("Custom host", "Suspend")]
+        assert row.power_w == pytest.approx(138.2)
+        assert row.time_s == pytest.approx(3.1)
+
+    def test_resume(self, readings):
+        row = readings[("Custom host", "Resume")]
+        assert row.power_w == pytest.approx(149.2)
+        assert row.time_s == pytest.approx(2.3)
+
+    def test_sleep(self, readings):
+        assert readings[("Custom host", "Sleep (S3)")].power_w == pytest.approx(12.9)
+
+    def test_memory_server_components(self, readings):
+        assert readings[("Memory server", "Idle")].power_w == pytest.approx(27.8)
+        assert readings[("SAS drive", "Idle")].power_w == pytest.approx(14.4)

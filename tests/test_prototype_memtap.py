@@ -1,0 +1,120 @@
+"""The real page-fault pipeline: compress, upload, fault, fetch, install."""
+
+import pytest
+
+from repro.errors import ConfigError, MigrationError
+from repro.memserver import MemoryServer, PageStore
+from repro.memserver.pages import PAGE_BYTES, PageKind, SyntheticPageFactory
+from repro.prototype import Memtap, PartialVmMemory
+from repro.prototype.memtap import PAGES_PER_CHUNK
+
+
+@pytest.fixture
+def small_vm():
+    """A 64-page (256 KiB) VM with real contents, uploaded to a store."""
+    factory = SyntheticPageFactory(seed=9)
+    pages = {}
+    kinds = [PageKind.ZERO, PageKind.TEXT, PageKind.CODE, PageKind.RANDOM]
+    for pfn in range(64):
+        pages[pfn] = factory.make(kinds[pfn % 4])
+    store = PageStore()
+    store.upload(vm_id=1, pages=pages)
+    server = MemoryServer(host_id=0, store=store)
+    server.start_serving()
+    memory = PartialVmMemory(vm_id=1, total_pages=64)
+    return pages, Memtap(memory, server)
+
+
+class TestFaultService:
+    def test_faulted_page_matches_original_bytes(self, small_vm):
+        pages, memtap = small_vm
+        for pfn in (0, 1, 2, 3, 63):
+            assert memtap.access(pfn) == pages[pfn]
+
+    def test_fault_counted_once_per_page(self, small_vm):
+        _pages, memtap = small_vm
+        memtap.access(5)
+        memtap.access(5)  # now resident: no second fault
+        assert memtap.faults_served == 1
+        assert memtap.memory.resident_pages == 1
+
+    def test_fault_latency_accumulates(self, small_vm):
+        _pages, memtap = small_vm
+        for pfn in range(10):
+            memtap.access(pfn)
+        expected = 10 * memtap.service.per_fault_s
+        assert memtap.time_spent_s == pytest.approx(expected)
+
+    def test_prefetch_fetches_only_absent_pages(self, small_vm):
+        _pages, memtap = small_vm
+        memtap.access(0)
+        fetched = memtap.prefetch(range(8))
+        assert fetched == 7
+        assert memtap.memory.resident_pages == 8
+
+    def test_compressed_bytes_on_the_wire(self, small_vm):
+        pages, memtap = small_vm
+        memtap.access(0)  # a zero page
+        # The wire carried the compressed page, far below 4 KiB.
+        assert 0 < memtap.bytes_fetched < PAGE_BYTES // 4
+
+    def test_out_of_range_pfn(self, small_vm):
+        _pages, memtap = small_vm
+        with pytest.raises(MigrationError):
+            memtap.access(64)
+
+
+class TestGuestMemorySemantics:
+    def test_write_requires_present_page(self):
+        memory = PartialVmMemory(vm_id=1, total_pages=4)
+        with pytest.raises(MigrationError):
+            memory.write(0, bytes(PAGE_BYTES))
+
+    def test_write_marks_dirty(self, small_vm):
+        pages, memtap = small_vm
+        memtap.access(3)
+        new_content = bytes(PAGE_BYTES)
+        memtap.memory.write(3, new_content)
+        assert memtap.memory.dirty == {3}
+        assert memtap.memory.read(3) == new_content
+
+    def test_install_validates_page_size(self):
+        memory = PartialVmMemory(vm_id=1, total_pages=4)
+        with pytest.raises(MigrationError):
+            memory.install(0, b"tiny")
+
+    def test_chunked_frame_allocation(self):
+        memory = PartialVmMemory(vm_id=1, total_pages=4 * PAGES_PER_CHUNK)
+        page = bytes(PAGE_BYTES)
+        memory.install(0, page)
+        memory.install(1, page)
+        assert memory.allocated_chunks == 1  # same 2 MiB chunk
+        memory.install(PAGES_PER_CHUNK, page)
+        assert memory.allocated_chunks == 2
+
+
+class TestDifferentialRoundTrip:
+    def test_dirty_pages_flow_back_through_the_store(self, small_vm):
+        """Reintegration path: the consolidation host's dirty pages are
+        re-uploaded and a later fetch returns the new contents."""
+        pages, memtap = small_vm
+        memtap.access(7)
+        modified = bytearray(pages[7])
+        modified[:4] = b"EDIT"
+        memtap.memory.write(7, bytes(modified))
+
+        updated = dict(pages)
+        for pfn in memtap.memory.dirty:
+            updated[pfn] = memtap.memory.read(pfn)
+        receipt = memtap.server.store.upload(
+            1, updated, dirty_pfns=memtap.memory.dirty
+        )
+        assert receipt.differential
+        assert receipt.pages_sent == 1
+        assert memtap.server.store.fetch_page(1, 7)[:4] == b"EDIT"
+
+    def test_server_refuses_when_not_serving(self, small_vm):
+        _pages, memtap = small_vm
+        memtap.server.stop_serving()
+        with pytest.raises(ConfigError):
+            memtap.access(9)

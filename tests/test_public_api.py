@@ -1,0 +1,53 @@
+"""Public API surface sanity."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+PACKAGES = [
+    "repro.analysis",
+    "repro.cluster",
+    "repro.core",
+    "repro.energy",
+    "repro.farm",
+    "repro.memserver",
+    "repro.migration",
+    "repro.pagesim",
+    "repro.prototype",
+    "repro.simulator",
+    "repro.traces",
+    "repro.vm",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_imports(self, name):
+        module = importlib.import_module(name)
+        assert module is not None
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_names_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    def test_top_level_quickstart_symbols(self):
+        for symbol in ("FarmConfig", "simulate_day", "FULL_TO_PARTIAL",
+                       "DayType", "generate_ensemble"):
+            assert hasattr(repro, symbol)
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_errors_form_a_hierarchy(self):
+        from repro import errors
+
+        for name in ("ConfigError", "CapacityError", "PowerStateError",
+                     "MigrationError", "TraceFormatError", "SimulationError",
+                     "CompressionError"):
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)

@@ -1,0 +1,160 @@
+"""Discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import Simulator
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.schedule(2.0, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_simultaneous_events_fire_fifo(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(5):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule(3.5, lambda: None)
+        sim.run()
+        assert sim.now == 3.5
+
+    def test_callback_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_zero_delay_runs_after_current_instant_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.0, fired.append, "first")
+        sim.schedule(0.0, fired.append, "second")
+        sim.run()
+        assert fired == ["first", "second"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_pending_counts_exclude_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending == 1
+        assert not keep.cancelled
+
+    def test_handle_reports_time_and_label(self):
+        sim = Simulator()
+        handle = sim.schedule(4.0, lambda: None, label="tick")
+        assert handle.time == 4.0
+        assert handle.label == "tick"
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run_until(3.0)
+        assert fired == ["a"]
+        assert sim.now == 3.0
+
+    def test_run_until_includes_events_at_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, fired.append, "edge")
+        sim.run_until(3.0)
+        assert fired == ["edge"]
+
+    def test_run_until_leaves_future_events_pending(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run_until(5.0)
+        assert sim.pending == 1
+
+    def test_run_until_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_advance_moves_relative(self):
+        sim = Simulator()
+        sim.advance(7.0)
+        assert sim.now == 7.0
+
+    def test_run_until_clock_at_horizon_even_without_events(self):
+        sim = Simulator()
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+
+class TestGuards:
+    def test_max_events_guards_runaway_loops(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_fired == 4
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False

@@ -1,0 +1,78 @@
+"""Calibration of the synthetic traces against the paper's statistics.
+
+These are the DESIGN.md §6 trace targets: they pin the ensemble-level
+behaviour the cluster evaluation depends on.
+"""
+
+import pytest
+
+from repro.traces import DayType, compute_ensemble_stats, generate_ensemble
+
+
+@pytest.fixture(scope="module")
+def weekday_stats():
+    return compute_ensemble_stats(
+        generate_ensemble(900, DayType.WEEKDAY, seed=20160418)
+    )
+
+
+@pytest.fixture(scope="module")
+def weekend_stats():
+    return compute_ensemble_stats(
+        generate_ensemble(900, DayType.WEEKEND, seed=20160418)
+    )
+
+
+class TestWeekdayCalibration:
+    def test_peak_concurrency_below_paper_maximum(self, weekday_stats):
+        # "there are never more than 411 (46%) active VMs simultaneously"
+        assert weekday_stats.peak_concurrent_fraction <= 0.50
+
+    def test_peak_concurrency_substantial(self, weekday_stats):
+        assert weekday_stats.peak_concurrent_fraction >= 0.35
+
+    def test_peak_in_early_afternoon(self, weekday_stats):
+        # "activity reaches its peak at around 2pm"
+        assert 12.0 <= weekday_stats.peak_hour <= 16.5
+
+    def test_trough_in_early_morning(self, weekday_stats):
+        # "keeps falling until it arrives at the bottom at 6.30am"
+        assert 4.0 <= weekday_stats.trough_hour <= 8.0
+
+    def test_all_idle_fraction_near_13_percent(self, weekday_stats):
+        # "all of the VMs assigned to a home host are simultaneously
+        # idle only 13% of the time"
+        assert 0.09 <= weekday_stats.all_idle_fraction_per_30 <= 0.18
+
+    def test_mean_activity_moderate(self, weekday_stats):
+        assert 0.10 <= weekday_stats.mean_active_fraction <= 0.25
+
+
+class TestWeekendCalibration:
+    def test_lower_activity_than_weekday(self, weekday_stats, weekend_stats):
+        assert (
+            weekend_stats.mean_active_fraction
+            < 0.5 * weekday_stats.mean_active_fraction
+        )
+
+    def test_weekend_peak_well_below_weekday(self, weekday_stats, weekend_stats):
+        assert (
+            weekend_stats.peak_concurrent
+            < 0.5 * weekday_stats.peak_concurrent
+        )
+
+    def test_weekend_groups_idle_more_often(self, weekday_stats, weekend_stats):
+        assert (
+            weekend_stats.all_idle_fraction_per_30
+            > weekday_stats.all_idle_fraction_per_30
+        )
+
+
+class TestStability:
+    def test_calibration_holds_across_seeds(self):
+        for seed in (1, 2, 3):
+            stats = compute_ensemble_stats(
+                generate_ensemble(900, DayType.WEEKDAY, seed=seed)
+            )
+            assert stats.peak_concurrent_fraction <= 0.52
+            assert 0.08 <= stats.all_idle_fraction_per_30 <= 0.20

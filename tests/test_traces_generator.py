@@ -1,0 +1,111 @@
+"""Synthetic trace generator: structure and configuration."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.traces import DayType, SyntheticTraceGenerator, TraceGeneratorConfig
+from repro.traces.generator import BurstModel
+
+
+class TestBurstModel:
+    def test_duty_cycle(self):
+        model = BurstModel(active_mean_intervals=2.0, idle_mean_intervals=2.0)
+        assert model.duty_cycle == pytest.approx(0.5)
+
+    def test_run_lengths_at_least_one(self):
+        model = BurstModel(1.5, 1.5)
+        rng = random.Random(0)
+        assert all(model.sample_run(True, rng) >= 1 for _ in range(200))
+
+    def test_run_length_mean_close_to_target(self):
+        model = BurstModel(3.0, 2.0)
+        rng = random.Random(1)
+        samples = [model.sample_run(True, rng) for _ in range(5000)]
+        assert sum(samples) / len(samples) == pytest.approx(3.0, rel=0.1)
+
+    def test_sub_interval_means_rejected(self):
+        with pytest.raises(ConfigError):
+            BurstModel(0.5, 2.0)
+
+
+class TestConfigValidation:
+    def test_probability_ranges(self):
+        with pytest.raises(ConfigError):
+            TraceGeneratorConfig(weekday_absence_probability=1.5)
+
+    def test_arrival_before_departure(self):
+        with pytest.raises(ConfigError):
+            TraceGeneratorConfig(arrival_mean_h=19.0, departure_mean_h=9.0)
+
+    def test_weekend_sessions_positive(self):
+        with pytest.raises(ConfigError):
+            TraceGeneratorConfig(weekend_max_sessions=0)
+
+    def test_negative_background_factor_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceGeneratorConfig(background_night_factor=-0.1)
+
+    def test_background_weight_profile(self):
+        config = TraceGeneratorConfig()
+        assert config.background_weight(20.0) == config.background_evening_factor
+        assert config.background_weight(2.0) == config.background_night_factor
+        assert config.background_weight(6.0) == config.background_predawn_factor
+        assert config.background_weight(12.0) == 1.0
+
+
+class TestGeneratedStructure:
+    def setup_method(self):
+        self.generator = SyntheticTraceGenerator(rng=random.Random(11))
+
+    def test_day_type_is_stamped(self):
+        trace = self.generator.generate(0, DayType.WEEKEND)
+        assert trace.day_type is DayType.WEEKEND
+
+    def test_user_ids_consecutive(self):
+        traces = self.generator.generate_many(5, DayType.WEEKDAY, first_user_id=10)
+        assert [t.user_id for t in traces] == [10, 11, 12, 13, 14]
+
+    def test_weekday_busier_than_weekend_on_average(self):
+        weekdays = self.generator.generate_many(200, DayType.WEEKDAY)
+        weekends = self.generator.generate_many(200, DayType.WEEKEND)
+        weekday_mean = sum(t.active_fraction for t in weekdays) / 200
+        weekend_mean = sum(t.active_fraction for t in weekends) / 200
+        assert weekday_mean > 2 * weekend_mean
+
+    def test_weekday_activity_concentrated_in_work_hours(self):
+        traces = self.generator.generate_many(300, DayType.WEEKDAY)
+        work = sum(
+            sum(t.intervals[9 * 12 : 18 * 12]) for t in traces
+        )
+        night = sum(
+            sum(t.intervals[0 : 6 * 12]) for t in traces
+        )
+        assert work > 5 * night
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticTraceGenerator(rng=random.Random(3)).generate_many(
+            10, DayType.WEEKDAY
+        )
+        b = SyntheticTraceGenerator(rng=random.Random(3)).generate_many(
+            10, DayType.WEEKDAY
+        )
+        assert [t.intervals for t in a] == [t.intervals for t in b]
+
+    def test_absent_users_exist_on_weekdays(self):
+        # With 12% absence, a good chunk of 300 users should show days
+        # with essentially no core-hours presence (background bursts may
+        # still dot the day).
+        traces = self.generator.generate_many(300, DayType.WEEKDAY)
+        quiet = sum(
+            1 for t in traces if sum(t.intervals[10 * 12 : 16 * 12]) <= 4
+        )
+        assert quiet >= 15
+
+    def test_background_activity_can_touch_the_night(self):
+        traces = self.generator.generate_many(500, DayType.WEEKDAY)
+        night_hits = sum(
+            1 for t in traces if any(t.intervals[0 : 5 * 12])
+        )
+        assert night_hits > 50

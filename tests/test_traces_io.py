@@ -1,0 +1,144 @@
+"""Trace CSV round-trips and malformed-input handling."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces import (
+    DayType,
+    generate_ensemble,
+    read_traces_csv,
+    write_traces_csv,
+)
+from repro.traces.io import read_ensemble_csv
+from repro.units import INTERVALS_PER_DAY
+
+
+@pytest.fixture
+def sample_traces():
+    return list(generate_ensemble(10, DayType.WEEKDAY, seed=4))
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path, sample_traces):
+        path = tmp_path / "traces.csv"
+        write_traces_csv(path, sample_traces)
+        loaded = read_traces_csv(path)
+        assert len(loaded) == len(sample_traces)
+        for original, copy in zip(sample_traces, loaded):
+            assert copy.user_id == original.user_id
+            assert copy.day_type is original.day_type
+            assert copy.intervals == original.intervals
+
+    def test_read_ensemble(self, tmp_path, sample_traces):
+        path = tmp_path / "traces.csv"
+        write_traces_csv(path, sample_traces)
+        ensemble = read_ensemble_csv(path)
+        assert len(ensemble) == 10
+        assert ensemble.day_type is DayType.WEEKDAY
+
+    def test_empty_file_has_header_only(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_traces_csv(path, [])
+        assert read_traces_csv(path) == []
+        with pytest.raises(TraceFormatError):
+            read_ensemble_csv(path)
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip(self, tmp_path, sample_traces):
+        from repro.traces import read_traces_json, write_traces_json
+
+        path = tmp_path / "traces.json"
+        write_traces_json(path, sample_traces)
+        loaded = read_traces_json(path)
+        assert len(loaded) == len(sample_traces)
+        for original, copy in zip(sample_traces, loaded):
+            assert copy.user_id == original.user_id
+            assert copy.intervals == original.intervals
+
+    def test_invalid_json(self, tmp_path):
+        from repro.traces import read_traces_json
+
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceFormatError):
+            read_traces_json(path)
+
+    def test_missing_traces_key(self, tmp_path):
+        from repro.traces import read_traces_json
+
+        path = tmp_path / "bad.json"
+        path.write_text('{"users": []}')
+        with pytest.raises(TraceFormatError):
+            read_traces_json(path)
+
+    def test_non_object_record(self, tmp_path):
+        from repro.traces import read_traces_json
+
+        path = tmp_path / "bad.json"
+        path.write_text('{"traces": [42]}')
+        with pytest.raises(TraceFormatError):
+            read_traces_json(path)
+
+    def test_json_and_csv_agree(self, tmp_path, sample_traces):
+        from repro.traces import read_traces_json, write_traces_json
+
+        json_path = tmp_path / "traces.json"
+        csv_path = tmp_path / "traces.csv"
+        write_traces_json(json_path, sample_traces)
+        write_traces_csv(csv_path, sample_traces)
+        assert [t.intervals for t in read_traces_json(json_path)] == [
+            t.intervals for t in read_traces_csv(csv_path)
+        ]
+
+
+class TestMalformedInput:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "bad.csv"
+        path.write_text(text)
+        return path
+
+    def test_missing_columns(self, tmp_path):
+        path = self._write(tmp_path, "user_id,day_type\n0,weekday\n")
+        with pytest.raises(TraceFormatError):
+            read_traces_csv(path)
+
+    def test_bad_user_id(self, tmp_path):
+        bits = "0" * INTERVALS_PER_DAY
+        path = self._write(
+            tmp_path, f"user_id,day_type,intervals\nnope,weekday,{bits}\n"
+        )
+        with pytest.raises(TraceFormatError):
+            read_traces_csv(path)
+
+    def test_bad_day_type(self, tmp_path):
+        bits = "0" * INTERVALS_PER_DAY
+        path = self._write(
+            tmp_path, f"user_id,day_type,intervals\n0,holiday,{bits}\n"
+        )
+        with pytest.raises(TraceFormatError):
+            read_traces_csv(path)
+
+    def test_wrong_interval_count(self, tmp_path):
+        path = self._write(
+            tmp_path, "user_id,day_type,intervals\n0,weekday,0101\n"
+        )
+        with pytest.raises(TraceFormatError):
+            read_traces_csv(path)
+
+    def test_non_binary_characters(self, tmp_path):
+        bits = "2" * INTERVALS_PER_DAY
+        path = self._write(
+            tmp_path, f"user_id,day_type,intervals\n0,weekday,{bits}\n"
+        )
+        with pytest.raises(TraceFormatError):
+            read_traces_csv(path)
+
+    def test_error_messages_carry_line_numbers(self, tmp_path):
+        bits = "0" * INTERVALS_PER_DAY
+        path = self._write(
+            tmp_path,
+            f"user_id,day_type,intervals\n0,weekday,{bits}\nx,weekday,{bits}\n",
+        )
+        with pytest.raises(TraceFormatError, match=":3"):
+            read_traces_csv(path)

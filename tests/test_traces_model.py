@@ -1,0 +1,84 @@
+"""Trace data model."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces import DayType, UserDayTrace
+from repro.units import INTERVALS_PER_DAY
+
+
+def make_trace(bits):
+    padded = list(bits) + [0] * (INTERVALS_PER_DAY - len(bits))
+    return UserDayTrace.from_bits(0, DayType.WEEKDAY, padded)
+
+
+class TestConstruction:
+    def test_requires_288_intervals(self):
+        with pytest.raises(TraceFormatError):
+            UserDayTrace(0, DayType.WEEKDAY, (True,) * 10)
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(TraceFormatError):
+            UserDayTrace.from_bits(0, DayType.WEEKDAY, [2] * INTERVALS_PER_DAY)
+
+    def test_all_idle_factory(self):
+        trace = UserDayTrace.all_idle(3, DayType.WEEKEND)
+        assert trace.active_fraction == 0.0
+        assert trace.user_id == 3
+        assert trace.day_type is DayType.WEEKEND
+
+    def test_all_active_factory(self):
+        trace = UserDayTrace.all_active(1, DayType.WEEKDAY)
+        assert trace.active_fraction == 1.0
+
+    def test_traces_are_immutable(self):
+        trace = UserDayTrace.all_idle(0, DayType.WEEKDAY)
+        with pytest.raises(AttributeError):
+            trace.user_id = 5
+
+
+class TestQueries:
+    def test_is_active_by_interval(self):
+        trace = make_trace([0, 1, 0])
+        assert not trace.is_active(0)
+        assert trace.is_active(1)
+
+    def test_is_active_at_time(self):
+        trace = make_trace([0, 1])
+        assert not trace.is_active_at(0.0)
+        assert trace.is_active_at(300.0)
+        assert trace.is_active_at(599.9)
+
+    def test_is_active_at_out_of_range(self):
+        trace = make_trace([1])
+        with pytest.raises(TraceFormatError):
+            trace.is_active_at(86400.0)
+
+    def test_active_fraction(self):
+        trace = make_trace([1, 1, 1, 0])
+        assert trace.active_fraction == pytest.approx(3 / INTERVALS_PER_DAY)
+
+    def test_transitions_counts_boundaries(self):
+        trace = make_trace([0, 1, 1, 0, 1])
+        # idle->active, active->idle, idle->active, active->idle (tail).
+        assert trace.transitions == 4
+
+    def test_transitions_zero_for_constant_trace(self):
+        assert UserDayTrace.all_idle(0, DayType.WEEKDAY).transitions == 0
+
+    def test_activation_intervals(self):
+        trace = make_trace([1, 0, 1, 1, 0, 1])
+        assert trace.activation_intervals() == [0, 2, 5]
+
+    def test_runs_partition_the_day(self):
+        trace = make_trace([1, 1, 0, 1])
+        runs = list(trace.runs())
+        assert sum(length for _state, length in runs) == INTERVALS_PER_DAY
+        assert runs[0] == (True, 2)
+        assert runs[1] == (False, 1)
+        assert runs[2] == (True, 1)
+
+    def test_runs_alternate_states(self):
+        trace = make_trace([1, 0, 1, 0, 1])
+        states = [state for state, _length in trace.runs()]
+        assert all(a != b for a, b in zip(states, states[1:]))

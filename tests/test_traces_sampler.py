@@ -1,0 +1,73 @@
+"""Trace ensembles and user partitioning."""
+
+import random
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces import DayType, TraceEnsemble, UserDayTrace, generate_ensemble
+from repro.traces.sampler import partition_users
+
+
+class TestEnsemble:
+    def test_generate_ensemble_size_and_type(self):
+        ensemble = generate_ensemble(50, DayType.WEEKEND, seed=0)
+        assert len(ensemble) == 50
+        assert all(t.day_type is DayType.WEEKEND for t in ensemble)
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(TraceFormatError):
+            TraceEnsemble(DayType.WEEKDAY, ())
+
+    def test_mixed_day_types_rejected(self):
+        mixed = (
+            UserDayTrace.all_idle(0, DayType.WEEKDAY),
+            UserDayTrace.all_idle(1, DayType.WEEKEND),
+        )
+        with pytest.raises(TraceFormatError):
+            TraceEnsemble(DayType.WEEKDAY, mixed)
+
+    def test_concurrent_active_counts(self):
+        traces = (
+            UserDayTrace.all_active(0, DayType.WEEKDAY),
+            UserDayTrace.all_idle(1, DayType.WEEKDAY),
+            UserDayTrace.all_active(2, DayType.WEEKDAY),
+        )
+        ensemble = TraceEnsemble(DayType.WEEKDAY, traces)
+        counts = ensemble.concurrent_active()
+        assert all(count == 2 for count in counts)
+        peak, _index = ensemble.peak_concurrency()
+        assert peak == 2
+
+    def test_resampled_renumbers_users(self):
+        ensemble = generate_ensemble(5, DayType.WEEKDAY, seed=1)
+        bigger = ensemble.resampled(20, random.Random(0))
+        assert len(bigger) == 20
+        assert [t.user_id for t in bigger] == list(range(20))
+
+    def test_indexing(self):
+        ensemble = generate_ensemble(5, DayType.WEEKDAY, seed=1)
+        assert ensemble[2].user_id == 2
+
+
+class TestPartition:
+    def test_partition_sizes(self):
+        ensemble = generate_ensemble(90, DayType.WEEKDAY, seed=2)
+        groups = partition_users(ensemble, 30)
+        assert [len(g) for g in groups] == [30, 30, 30]
+
+    def test_partition_with_remainder(self):
+        ensemble = generate_ensemble(70, DayType.WEEKDAY, seed=2)
+        groups = partition_users(ensemble, 30)
+        assert [len(g) for g in groups] == [30, 30, 10]
+
+    def test_partition_rejects_bad_group_size(self):
+        ensemble = generate_ensemble(10, DayType.WEEKDAY, seed=2)
+        with pytest.raises(TraceFormatError):
+            partition_users(ensemble, 0)
+
+    def test_partition_preserves_order(self):
+        ensemble = generate_ensemble(60, DayType.WEEKDAY, seed=2)
+        groups = partition_users(ensemble, 30)
+        assert groups[0][0].user_id == 0
+        assert groups[1][0].user_id == 30

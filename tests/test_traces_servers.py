@@ -1,0 +1,89 @@
+"""Server-workload trace generation (§1 motivation, §5.6)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.traces.servers import (
+    BATCH_WORKER,
+    FRONT_END,
+    SERVICE_MEMBER,
+    ServerProfile,
+    generate_server_ensemble,
+    generate_server_trace,
+)
+from repro.units import INTERVALS_PER_DAY
+
+
+class TestProfiles:
+    def test_service_members_are_nearly_always_idle(self):
+        rng = random.Random(0)
+        fractions = [
+            generate_server_trace(i, SERVICE_MEMBER, rng).active_fraction
+            for i in range(100)
+        ]
+        assert sum(fractions) / len(fractions) < 0.05
+
+    def test_batch_workers_work_their_window(self):
+        rng = random.Random(1)
+        trace = generate_server_trace(0, BATCH_WORKER, rng)
+        window = trace.intervals[1 * 12 : 4 * 12]
+        outside = trace.intervals[6 * 12 : 23 * 12]
+        assert sum(window) / len(window) > 0.7
+        assert sum(outside) / len(outside) < 0.05
+
+    def test_front_ends_follow_business_hours(self):
+        rng = random.Random(2)
+        traces = [generate_server_trace(i, FRONT_END, rng) for i in range(50)]
+        day = sum(sum(t.intervals[9 * 12 : 18 * 12]) for t in traces)
+        night = sum(sum(t.intervals[0 : 7 * 12]) for t in traces)
+        assert day > 3 * night
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigError):
+            ServerProfile("bad", burst_start_probability=2.0,
+                          burst_mean_intervals=1.0)
+        with pytest.raises(ConfigError):
+            ServerProfile("bad", 0.1, 0.5)
+        with pytest.raises(ConfigError):
+            ServerProfile("bad", 0.1, 2.0, busy_windows_h=((5.0, 3.0),))
+
+
+class TestEnsembles:
+    def test_mix_counts_and_ordering(self):
+        ensemble = generate_server_ensemble(
+            {SERVICE_MEMBER: 4, BATCH_WORKER: 2}, seed=0
+        )
+        assert len(ensemble) == 6
+        assert [t.user_id for t in ensemble] == list(range(6))
+
+    def test_deterministic(self):
+        a = generate_server_ensemble({FRONT_END: 5}, seed=9)
+        b = generate_server_ensemble({FRONT_END: 5}, seed=9)
+        assert [t.intervals for t in a] == [t.intervals for t in b]
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_server_ensemble({}, seed=0)
+        with pytest.raises(ConfigError):
+            generate_server_ensemble({SERVICE_MEMBER: 0}, seed=0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_server_ensemble({SERVICE_MEMBER: -1}, seed=0)
+
+    def test_server_farm_idles_more_than_desktops(self):
+        from repro.traces import DayType, compute_ensemble_stats, generate_ensemble
+
+        servers = compute_ensemble_stats(
+            generate_server_ensemble(
+                {SERVICE_MEMBER: 60, BATCH_WORKER: 30, FRONT_END: 30},
+                seed=3,
+            )
+        )
+        desktops = compute_ensemble_stats(
+            generate_ensemble(120, DayType.WEEKDAY, seed=3)
+        )
+        # §5.6's premise: server farms are even idler than desktop ones.
+        assert servers.mean_active_fraction < desktops.mean_active_fraction

@@ -1,0 +1,78 @@
+"""Unit-convention helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_intervals_per_day(self):
+        assert units.INTERVALS_PER_DAY == 288
+
+    def test_trace_interval(self):
+        assert units.TRACE_INTERVAL_SECONDS == 300.0
+
+    def test_pages_per_mib(self):
+        assert units.PAGES_PER_MIB == 256
+
+    def test_default_vm_memory_is_4_gib(self):
+        assert units.DEFAULT_VM_MEMORY_MIB == 4096.0
+
+    def test_seconds_per_day(self):
+        assert units.SECONDS_PER_DAY == 24 * 3600
+
+
+class TestConversions:
+    def test_mib_gib_roundtrip(self):
+        assert units.gib_to_mib(units.mib_to_gib(5120.0)) == pytest.approx(5120.0)
+
+    def test_mib_to_pages(self):
+        assert units.mib_to_pages(1.0) == 256
+        assert units.mib_to_pages(4096.0) == 1024 * 1024
+
+    def test_pages_to_mib_inverse(self):
+        assert units.pages_to_mib(units.mib_to_pages(37.5)) == pytest.approx(37.5)
+
+    def test_joules_wh_roundtrip(self):
+        assert units.wh_to_joules(units.joules_to_wh(7200.0)) == pytest.approx(7200.0)
+
+    def test_one_wh_is_3600_joules(self):
+        assert units.wh_to_joules(1.0) == 3600.0
+
+
+class TestTransferSeconds:
+    def test_basic(self):
+        assert units.transfer_seconds(128.0, 128.0) == pytest.approx(1.0)
+
+    def test_zero_size(self):
+        assert units.transfer_seconds(0.0, 100.0) == 0.0
+
+    def test_full_vm_over_gige_is_about_35_seconds(self):
+        t = units.transfer_seconds(
+            units.DEFAULT_VM_MEMORY_MIB, units.GIGE_MIB_PER_S
+        )
+        assert 30.0 < t < 40.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            units.transfer_seconds(-1.0, 100.0)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            units.transfer_seconds(1.0, 0.0)
+
+    def test_sas_rate_matches_paper(self):
+        # 128 MiB/s sequential writes (§4.3).
+        assert units.SAS_MIB_PER_S == 128.0
+
+    def test_ten_gige_faster_than_gige(self):
+        assert units.TEN_GIGE_MIB_PER_S == pytest.approx(
+            10 * units.GIGE_MIB_PER_S
+        )
+
+    def test_transfer_time_scales_linearly(self):
+        one = units.transfer_seconds(10.0, 50.0)
+        two = units.transfer_seconds(20.0, 50.0)
+        assert math.isclose(two, 2 * one)

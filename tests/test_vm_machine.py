@@ -1,0 +1,161 @@
+"""VM state machine: activity, residency, placement invariants."""
+
+import pytest
+
+from repro.errors import MigrationError
+from repro.vm import Residency, VirtualMachine, VmActivity
+
+
+def make_vm():
+    return VirtualMachine(vm_id=1, origin_home_id=0, memory_mib=4096.0)
+
+
+class TestInitialState:
+    def test_starts_full_and_idle_at_origin(self):
+        vm = make_vm()
+        assert vm.residency is Residency.FULL
+        assert vm.activity is VmActivity.IDLE
+        assert vm.host_id == vm.home_id == vm.origin_home_id == 0
+        assert vm.resident_mib == 4096.0
+        assert vm.resident_fraction == 1.0
+
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(MigrationError):
+            VirtualMachine(1, 0, 0.0)
+
+
+class TestActivity:
+    def test_idle_streak_counting(self):
+        vm = make_vm()
+        vm.set_activity(VmActivity.IDLE)
+        vm.set_activity(VmActivity.IDLE)
+        assert vm.idle_intervals == 2
+        vm.set_activity(VmActivity.ACTIVE)
+        assert vm.idle_intervals == 0
+        assert vm.is_active
+        vm.set_activity(VmActivity.IDLE)
+        assert vm.idle_intervals == 1
+
+
+class TestPartialMigration:
+    def test_become_partial(self):
+        vm = make_vm()
+        vm.become_partial(destination_id=9, working_set_mib=170.0)
+        assert vm.is_partial
+        assert vm.host_id == 9
+        assert vm.home_id == 0  # image stays home
+        assert vm.resident_mib == pytest.approx(170.0)
+        assert vm.resident_fraction == pytest.approx(170.0 / 4096.0)
+
+    def test_partial_to_home_rejected(self):
+        vm = make_vm()
+        with pytest.raises(MigrationError):
+            vm.become_partial(destination_id=0, working_set_mib=100.0)
+
+    def test_double_partial_rejected(self):
+        vm = make_vm()
+        vm.become_partial(9, 100.0)
+        with pytest.raises(MigrationError):
+            vm.become_partial(8, 100.0)
+
+    def test_working_set_bounds(self):
+        vm = make_vm()
+        with pytest.raises(MigrationError):
+            vm.become_partial(9, 0.0)
+        with pytest.raises(MigrationError):
+            vm.become_partial(9, 5000.0)
+
+    def test_relocate_partial(self):
+        vm = make_vm()
+        vm.become_partial(9, 100.0)
+        vm.relocate_partial(8)
+        assert vm.host_id == 8
+        assert vm.home_id == 0
+        assert vm.is_partial
+
+    def test_relocate_to_home_rejected(self):
+        vm = make_vm()
+        vm.become_partial(9, 100.0)
+        with pytest.raises(MigrationError):
+            vm.relocate_partial(0)
+
+    def test_relocate_requires_partial(self):
+        with pytest.raises(MigrationError):
+            make_vm().relocate_partial(5)
+
+
+class TestReintegration:
+    def test_reintegrate_returns_home_full(self):
+        vm = make_vm()
+        vm.become_partial(9, 100.0)
+        vm.reintegrate()
+        assert vm.residency is Residency.FULL
+        assert vm.host_id == vm.home_id == 0
+        assert vm.working_set_mib is None
+
+    def test_reintegrate_requires_partial(self):
+        with pytest.raises(MigrationError):
+            make_vm().reintegrate()
+
+
+class TestFullConversions:
+    def test_become_full_in_place_rehomes(self):
+        vm = make_vm()
+        vm.become_partial(9, 100.0)
+        vm.become_full_in_place()
+        assert vm.residency is Residency.FULL
+        assert vm.host_id == vm.home_id == 9
+        assert vm.origin_home_id == 0  # origin never changes
+
+    def test_become_full_at_new_host(self):
+        vm = make_vm()
+        vm.become_partial(9, 100.0)
+        vm.become_full_at(4)
+        assert vm.host_id == vm.home_id == 4
+
+    def test_become_full_requires_partial(self):
+        with pytest.raises(MigrationError):
+            make_vm().become_full_at(4)
+
+    def test_full_migrate_moves_home(self):
+        vm = make_vm()
+        vm.full_migrate(7)
+        assert vm.host_id == vm.home_id == 7
+        assert vm.residency is Residency.FULL
+
+    def test_full_migrate_requires_full(self):
+        vm = make_vm()
+        vm.become_partial(9, 100.0)
+        with pytest.raises(MigrationError):
+            vm.full_migrate(7)
+
+
+class TestWorkingSetGrowth:
+    def test_growth(self):
+        vm = make_vm()
+        vm.become_partial(9, 100.0)
+        vm.grow_working_set(50.0)
+        assert vm.working_set_mib == pytest.approx(150.0)
+
+    def test_growth_caps_at_allocation(self):
+        vm = make_vm()
+        vm.become_partial(9, 4000.0)
+        vm.grow_working_set(500.0)
+        assert vm.working_set_mib == pytest.approx(4096.0)
+
+    def test_growth_requires_partial(self):
+        with pytest.raises(MigrationError):
+            make_vm().grow_working_set(1.0)
+
+    def test_negative_growth_rejected(self):
+        vm = make_vm()
+        vm.become_partial(9, 100.0)
+        with pytest.raises(MigrationError):
+            vm.grow_working_set(-1.0)
+
+    def test_resident_mib_requires_working_set(self):
+        vm = make_vm()
+        vm.become_partial(9, 100.0)
+        vm.working_set_mib = None  # simulate corruption
+        with pytest.raises(MigrationError):
+            _ = vm.resident_mib

@@ -1,0 +1,99 @@
+"""Working-set sampling and the Table 2 workload catalog."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.vm import (
+    APPLICATION_CATALOG,
+    WORKLOAD_1,
+    WORKLOAD_2,
+    Workload,
+    WorkingSetSampler,
+)
+from repro.vm.workingset import JETTISON_MEAN_MIB, JETTISON_STD_MIB
+
+
+class TestWorkingSetSampler:
+    def test_defaults_match_paper_moments(self):
+        sampler = WorkingSetSampler()
+        assert sampler.mean_mib == pytest.approx(165.63)
+        assert sampler.std_mib == pytest.approx(91.38)
+
+    def test_samples_within_bounds(self):
+        sampler = WorkingSetSampler()
+        rng = random.Random(0)
+        for _ in range(2000):
+            value = sampler.sample(rng)
+            assert sampler.min_mib <= value <= sampler.max_mib
+
+    def test_sample_mean_close_to_target(self):
+        sampler = WorkingSetSampler()
+        rng = random.Random(1)
+        samples = [sampler.sample(rng) for _ in range(5000)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(JETTISON_MEAN_MIB, rel=0.1)
+
+    def test_sample_std_close_to_target(self):
+        sampler = WorkingSetSampler()
+        rng = random.Random(2)
+        samples = [sampler.sample(rng) for _ in range(5000)]
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert var ** 0.5 == pytest.approx(JETTISON_STD_MIB, rel=0.15)
+
+    def test_deterministic_with_seed(self):
+        sampler = WorkingSetSampler()
+        a = [sampler.sample(random.Random(3)) for _ in range(5)]
+        b = [sampler.sample(random.Random(3)) for _ in range(5)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WorkingSetSampler(mean_mib=-1.0)
+        with pytest.raises(ConfigError):
+            WorkingSetSampler(mean_mib=10.0, min_mib=50.0)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_sampling_is_total_and_bounded(self, seed):
+        sampler = WorkingSetSampler(std_mib=400.0, min_mib=150.0,
+                                    max_mib=180.0, mean_mib=165.0)
+        value = sampler.sample(random.Random(seed))
+        assert 150.0 <= value <= 180.0
+
+
+class TestWorkloadCatalog:
+    def test_catalog_entries_have_positive_numbers(self):
+        for key, app in APPLICATION_CATALOG.items():
+            assert app.full_start_s > 0.0, key
+            assert app.startup_footprint_mib > 0.0, key
+            assert app.resident_mib >= app.startup_footprint_mib * 0.5, key
+
+    def test_workload_1_matches_table_2(self):
+        names = [app.name for app in WORKLOAD_1.applications]
+        assert "Thunderbird mail" in names
+        assert "Pidgin IM" in names
+        assert names.count("LibreOffice document") == 3
+        assert sum(1 for n in names if n.startswith("Firefox")) == 5
+
+    def test_workload_2_matches_table_2(self):
+        names = [app.name for app in WORKLOAD_2.applications]
+        assert names.count("LibreOffice document") == 3
+        assert sum(1 for n in names if n.startswith("Firefox")) == 4
+        assert "Evince PDF" in names
+
+    def test_resident_totals_fit_a_4gib_vm(self):
+        total = WORKLOAD_1.resident_mib + WORKLOAD_2.resident_mib
+        assert total < 4096.0 - 500.0  # leaves room for the OS base
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(ConfigError):
+            Workload("bad", ("no-such-app",))
+
+    def test_libreoffice_footprint_supports_figure6(self):
+        # 164 MiB at ~4 ms/fault is the paper's 168 s start-up.
+        app = APPLICATION_CATALOG["libreoffice-doc"]
+        assert app.startup_footprint_mib == pytest.approx(164.0)
