@@ -15,7 +15,7 @@ Run with::
 
 import argparse
 
-from repro import DayType, FarmConfig, FULL_TO_PARTIAL
+from repro import FarmConfig, FULL_TO_PARTIAL
 from repro.analysis import format_percent, format_table
 from repro.farm.sweep import memory_server_power_sweep
 

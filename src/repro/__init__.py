@@ -17,7 +17,10 @@ Package map (see DESIGN.md for the full inventory):
   the substrates;
 * :mod:`repro.prototype`, :mod:`repro.pagesim` — the page-level
   prototype models behind the micro-benchmarks (§2, §4.4);
-* :mod:`repro.analysis` — CDFs/series/tables for the benches.
+* :mod:`repro.analysis` — CDFs/series/tables for the benches;
+* :mod:`repro.checkers` — the AST invariant linter
+  (``python -m repro.checkers``) enforcing determinism, unit-suffix
+  safety, state machines, and the export surface.
 """
 
 from repro.core import (

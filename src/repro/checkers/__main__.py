@@ -1,0 +1,7 @@
+"""``python -m repro.checkers`` dispatch."""
+
+import sys
+
+from repro.checkers.cli import main
+
+sys.exit(main())

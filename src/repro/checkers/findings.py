@@ -1,0 +1,46 @@
+"""Structured lint findings.
+
+A :class:`Finding` pins one rule violation to a ``file:line:col``
+location, carries the machine-readable rule id (``DET101``, ``UNIT101``,
+...), a human message, and a short fix hint.  Findings sort by location
+so reports are stable across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    hint: str = ""
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable representation (``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable report entry."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text

@@ -1,0 +1,184 @@
+"""API-surface rules (``API1xx``).
+
+``__all__`` is the contract between a package and its users; these rules
+keep it honest.  Every listed export must resolve to a module-level
+binding, no name may be listed twice, and — for package ``__init__.py``
+files — every public binding must actually be listed, so adding an
+import without exporting it (or exporting without importing) fails the
+linter instead of surprising a downstream ``import *``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.checkers.base import ModuleContext, Rule, register
+from repro.checkers.findings import Finding
+
+
+def _all_entries(tree: ast.Module) -> Optional[Tuple[ast.AST, List[str]]]:
+    """The ``__all__`` node and its string entries, if statically listed."""
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return None
+        entries = []
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                entries.append(element.value)
+            else:
+                return None  # dynamically built; cannot check statically
+        return node, entries
+    return None
+
+
+def _module_bindings(tree: ast.Module) -> Tuple[Set[str], bool]:
+    """Names bound at module top level, and whether a star import occurs."""
+    bound: Set[str] = set()
+    star = False
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(
+                    alias.asname
+                    if alias.asname
+                    else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    star = True
+                else:
+                    bound.add(alias.asname if alias.asname else alias.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        bound.add(name_node.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # Conditional imports (version gates, optional deps): collect
+            # one level deep so try/except import fallbacks resolve.
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Import):
+                    for alias in sub.names:
+                        bound.add(
+                            alias.asname
+                            if alias.asname
+                            else alias.name.split(".")[0]
+                        )
+                elif isinstance(sub, ast.ImportFrom):
+                    for alias in sub.names:
+                        if alias.name != "*":
+                            bound.add(
+                                alias.asname if alias.asname else alias.name
+                            )
+                elif isinstance(sub, (ast.FunctionDef, ast.ClassDef)):
+                    bound.add(sub.name)
+                elif isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        for name_node in ast.walk(target):
+                            if isinstance(name_node, ast.Name):
+                                bound.add(name_node.id)
+    return bound, star
+
+
+@register
+class UnresolvedExportRule(Rule):
+    """``__all__`` names something the module never binds."""
+
+    rule_id = "API101"
+    summary = "__all__ entry does not resolve to a module-level name"
+    hint = "import or define the symbol, or drop it from __all__"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        parsed = _all_entries(ctx.tree)
+        if parsed is None:
+            return
+        node, entries = parsed
+        bound, star = _module_bindings(ctx.tree)
+        if star:
+            return  # cannot verify past a star import
+        for entry in entries:
+            if entry not in bound:
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"__all__ lists {entry!r} but the module never binds it",
+                    self.hint,
+                )
+
+
+@register
+class DuplicateExportRule(Rule):
+    """Each public symbol is exported exactly once."""
+
+    rule_id = "API102"
+    summary = "duplicate __all__ entry"
+    hint = "remove the repeated name"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        parsed = _all_entries(ctx.tree)
+        if parsed is None:
+            return
+        node, entries = parsed
+        seen: Set[str] = set()
+        for entry in entries:
+            if entry in seen:
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"__all__ lists {entry!r} more than once",
+                    self.hint,
+                )
+            seen.add(entry)
+
+
+@register
+class UnexportedPublicSymbolRule(Rule):
+    """Package ``__init__`` bindings must all be in ``__all__``."""
+
+    rule_id = "API103"
+    summary = "public __init__ symbol missing from __all__"
+    hint = "add the name to __all__ or rename it with a leading underscore"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if os.path.basename(ctx.path) != "__init__.py":
+            return
+        parsed = _all_entries(ctx.tree)
+        if parsed is None:
+            return
+        node, entries = parsed
+        bound, star = _module_bindings(ctx.tree)
+        if star:
+            return
+        exported = set(entries)
+        for name in sorted(bound):
+            if name.startswith("_"):
+                continue
+            if name not in exported:
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"{name!r} is bound in __init__.py but not in __all__",
+                    self.hint,
+                )

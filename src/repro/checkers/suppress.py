@@ -1,0 +1,74 @@
+"""Inline suppression comments.
+
+A finding is suppressed by a comment on the *flagged line*::
+
+    value = random.Random()  # repro: noqa[DET102]
+    value = random.Random()  # repro: noqa[DET102,UNIT101]
+    value = random.Random()  # repro: noqa
+
+``noqa`` with no bracket suppresses every rule on that line; with a
+bracket it suppresses only the listed rule ids.  Suppressions are parsed
+from real COMMENT tokens (via :mod:`tokenize`), so the marker inside a
+string literal does not suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet
+
+#: Matches ``repro: noqa`` and ``repro: noqa[RULE1,RULE2]`` inside a comment.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?",
+)
+
+#: Sentinel rule-set meaning "suppress everything on this line".
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+
+def collect_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> suppressed rule ids (``ALL_RULES`` for bare noqa)."""
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    reader = io.StringIO(source).readline
+    try:
+        tokens = tokenize.generate_tokens(reader)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(tok.string)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                wanted = ALL_RULES
+            else:
+                wanted = frozenset(
+                    r.strip().upper() for r in rules.split(",") if r.strip()
+                )
+                if not wanted:
+                    wanted = ALL_RULES
+            line = tok.start[0]
+            existing = suppressions.get(line)
+            if existing is None:
+                suppressions[line] = wanted
+            elif ALL_RULES <= existing or ALL_RULES <= wanted:
+                suppressions[line] = ALL_RULES
+            else:
+                suppressions[line] = existing | wanted
+    except tokenize.TokenError:
+        # Unterminated strings etc.: the AST parse will report the real
+        # problem; treat the file as having no suppressions.
+        pass
+    return suppressions
+
+
+def is_suppressed(
+    suppressions: Dict[int, FrozenSet[str]], line: int, rule_id: str
+) -> bool:
+    """Whether ``rule_id`` is suppressed on ``line``."""
+    wanted = suppressions.get(line)
+    if wanted is None:
+        return False
+    return wanted is ALL_RULES or "*" in wanted or rule_id.upper() in wanted

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.errors import ConfigError
 from repro.traces.model import DayType, UserDayTrace
@@ -153,7 +153,7 @@ class SyntheticTraceGenerator:
     def __init__(
         self,
         config: TraceGeneratorConfig = TraceGeneratorConfig(),
-        rng: random.Random = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.config = config
         self._rng = rng if rng is not None else random.Random(0)

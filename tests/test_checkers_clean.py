@@ -1,0 +1,27 @@
+"""Tier-1 gate: the shipped tree is violation-free under repro.checkers.
+
+This is the contract the linter exists to enforce: every determinism,
+unit-safety, state-machine, and API-surface rule holds across the whole
+``repro`` package (explicit ``# repro: noqa[RULE]`` suppressions
+included, so a suppression is always a reviewed decision, never an
+accident).
+"""
+
+import os
+
+import repro
+from repro.checkers import check_paths
+
+PACKAGE_ROOT = os.path.dirname(os.path.abspath(repro.__file__))
+
+
+class TestTreeIsClean:
+    def test_no_findings_across_repro(self):
+        findings = check_paths([PACKAGE_ROOT])
+        rendered = "\n".join(f.render() for f in findings)
+        assert not findings, f"repro.checkers found violations:\n{rendered}"
+
+    def test_package_root_is_the_real_tree(self):
+        # Guard against an empty-directory false pass.
+        assert os.path.isfile(os.path.join(PACKAGE_ROOT, "units.py"))
+        assert os.path.isdir(os.path.join(PACKAGE_ROOT, "checkers"))

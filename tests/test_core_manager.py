@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.cluster import Cluster
 from repro.core import (
     ActivationAction,

@@ -6,7 +6,6 @@ import pytest
 
 from repro.cluster import Cluster, PowerState
 from repro.core import (
-    DEFAULT,
     FULL_TO_PARTIAL,
     GreedyVacatePlanner,
     MigrationMode,

@@ -1,7 +1,5 @@
 """Edge cases in the farm engine's power-state and timing machinery."""
 
-import pytest
-
 from repro.cluster import PowerState
 from repro.core import FULL_TO_PARTIAL, ONLY_PARTIAL
 from repro.energy import HostPowerProfile

@@ -8,14 +8,12 @@ stays within physical bounds, and every reported metric is sane.
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.cluster import HostRole
 from repro.core import ALL_POLICIES
 from repro.farm import FarmConfig, FarmSimulation
 from repro.traces import DayType, TraceEnsemble, UserDayTrace
-from repro.units import INTERVALS_PER_DAY, SECONDS_PER_DAY
+from repro.units import INTERVALS_PER_DAY
 
 HOMES = 3
 VMS_PER_HOST = 2

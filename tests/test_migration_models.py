@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigError, MigrationError
-from repro.memserver.link import GIGE_LINK, TEN_GIGE_LINK, TransferLink
+from repro.memserver.link import GIGE_LINK, TEN_GIGE_LINK
 from repro.migration import (
     MigrationCostModel,
     PostCopyModel,

@@ -9,6 +9,8 @@ import repro
 
 PACKAGES = [
     "repro.analysis",
+    "repro.checkers",
+    "repro.checkers.rules",
     "repro.cluster",
     "repro.core",
     "repro.energy",

@@ -13,7 +13,6 @@ from repro.traces.servers import (
     generate_server_ensemble,
     generate_server_trace,
 )
-from repro.units import INTERVALS_PER_DAY
 
 
 class TestProfiles:
