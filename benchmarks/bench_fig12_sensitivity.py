@@ -5,6 +5,7 @@ Paper anchors: with the 900 VMs repacked onto 30/20/18/15/10 home hosts
 four consolidation hosts, weekday and weekend savings barely move.
 """
 
+from conftest import timing_lines
 from repro.analysis import format_percent, format_table
 from repro.core import FULL_TO_PARTIAL
 from repro.farm import FarmConfig
@@ -20,20 +21,22 @@ SHAPES = (
 )
 
 
-def compute_sensitivity(runs, seed):
+def compute_sensitivity(runs, seed, runner):
     config = FarmConfig()
     return {
         day_type: cluster_shape_sweep(
             config, FULL_TO_PARTIAL, day_type, shapes=SHAPES,
-            runs=runs, base_seed=seed,
+            runs=runs, base_seed=seed, runner=runner,
         )
         for day_type in (DayType.WEEKDAY, DayType.WEEKEND)
     }
 
 
-def test_fig12_sensitivity(benchmark, report, bench_runs, bench_seed):
+def test_fig12_sensitivity(
+    benchmark, report, bench_runs, bench_seed, bench_runner
+):
     sweeps = benchmark.pedantic(
-        compute_sensitivity, args=(bench_runs, bench_seed),
+        compute_sensitivity, args=(bench_runs, bench_seed, bench_runner),
         rounds=1, iterations=1,
     )
 
@@ -57,7 +60,10 @@ def test_fig12_sensitivity(benchmark, report, bench_runs, bench_seed):
         "paper's stay flat; within each home-host count the consolidation-"
         "host count indeed barely matters."
     )
-    report("fig12_sensitivity", table + "\n" + note)
+    report(
+        "fig12_sensitivity",
+        table + "\n" + note + "\n" + timing_lines(bench_runner),
+    )
 
     home_counts = sorted({homes for homes, _cons in SHAPES})
     for table_data in (weekday, weekend):

@@ -6,6 +6,7 @@ weekends; NewHome adds nothing over FulltoPartial; savings rise with
 consolidation hosts until ~4 and then level off.
 """
 
+from conftest import timing_lines
 from repro.analysis import format_percent, format_table
 from repro.core import ALL_POLICIES
 from repro.farm import FarmConfig
@@ -15,21 +16,24 @@ from repro.traces import DayType
 CONSOLIDATION_COUNTS = (2, 4, 6, 8, 10, 12)
 
 
-def compute_sweeps(runs, seed):
+def compute_sweeps(runs, seed, runner):
     config = FarmConfig()
     return {
         day_type: consolidation_host_sweep(
             config, ALL_POLICIES, day_type,
             consolidation_counts=CONSOLIDATION_COUNTS,
-            runs=runs, base_seed=seed,
+            runs=runs, base_seed=seed, runner=runner,
         )
         for day_type in (DayType.WEEKDAY, DayType.WEEKEND)
     }
 
 
-def test_fig8_energy_savings(benchmark, report, save_series, bench_runs, bench_seed):
+def test_fig8_energy_savings(
+    benchmark, report, save_series, bench_runs, bench_seed, bench_runner
+):
     sweeps = benchmark.pedantic(
-        compute_sweeps, args=(bench_runs, bench_seed), rounds=1, iterations=1
+        compute_sweeps, args=(bench_runs, bench_seed, bench_runner),
+        rounds=1, iterations=1,
     )
 
     sections = []
@@ -50,7 +54,11 @@ def test_fig8_energy_savings(benchmark, report, save_series, bench_runs, bench_s
         "paper @4 consolidation hosts: OnlyPartial ~6%, FulltoPartial "
         "28% weekday / 43% weekend, NewHome ~= FulltoPartial"
     )
-    report("fig8_energy_savings", "\n\n".join(sections) + "\n" + note)
+    report(
+        "fig8_energy_savings",
+        "\n\n".join(sections) + "\n" + note + "\n"
+        + timing_lines(bench_runner),
+    )
     rows_csv = []
     for day_type, sweep in sweeps.items():
         for policy_name, series in sweep.items():

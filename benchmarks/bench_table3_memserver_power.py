@@ -5,6 +5,7 @@ drive) with leaner designs raises savings monotonically, up to ~41%
 weekday / ~68% weekend at a 1 W design.
 """
 
+from conftest import timing_lines
 from repro.analysis import format_percent, format_table
 from repro.core import FULL_TO_PARTIAL
 from repro.farm import FarmConfig
@@ -20,12 +21,14 @@ PAPER_TABLE3 = {
 }
 
 
-def test_table3_memserver_power(benchmark, report, bench_runs, bench_seed):
+def test_table3_memserver_power(
+    benchmark, report, bench_runs, bench_seed, bench_runner
+):
     rows_data = benchmark.pedantic(
         lambda: memory_server_power_sweep(
             FarmConfig(), FULL_TO_PARTIAL,
             watts_options=tuple(PAPER_TABLE3),
-            runs=bench_runs, base_seed=bench_seed,
+            runs=bench_runs, base_seed=bench_seed, runner=bench_runner,
         ),
         rounds=1, iterations=1,
     )
@@ -45,7 +48,10 @@ def test_table3_memserver_power(benchmark, report, bench_runs, bench_seed):
         ["memory server", "weekday", "paper wd", "weekend", "paper we"],
         rows,
     )
-    report("table3_memserver_power", table)
+    report(
+        "table3_memserver_power",
+        table + "\n" + timing_lines(bench_runner),
+    )
 
     # Monotone: leaner memory servers never hurt.
     weekday_series = [weekday.mean_savings for _w, weekday, _we in rows_data]

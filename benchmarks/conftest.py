@@ -10,7 +10,10 @@ Environment knobs:
 
 * ``REPRO_BENCH_RUNS`` — repetitions per configuration for the cluster
   sweeps (default 2; the paper uses 5);
-* ``REPRO_BENCH_SEED`` — base seed (default 0).
+* ``REPRO_BENCH_SEED`` — base seed (default 0);
+* ``REPRO_BENCH_WORKERS`` — worker processes for the sweep benches
+  (default: one per CPU; ``1`` forces the serial backend).  The runner
+  guarantees results are identical at any worker count.
 """
 
 from __future__ import annotations
@@ -21,11 +24,16 @@ from pathlib import Path
 
 import pytest
 
+from repro.farm import SweepRunner
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Repetitions per sweep configuration (paper: five).
 BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "2"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+BENCH_WORKERS = int(
+    os.environ.get("REPRO_BENCH_WORKERS", str(os.cpu_count() or 1))
+)
 
 
 @pytest.fixture
@@ -70,3 +78,19 @@ def bench_runs():
 @pytest.fixture(scope="session")
 def bench_seed():
     return BENCH_SEED
+
+
+@pytest.fixture
+def bench_runner():
+    """A fresh sweep runner per bench, so its timing summaries cover
+    exactly that bench's batches."""
+    if BENCH_WORKERS > 1:
+        return SweepRunner(backend="process", workers=BENCH_WORKERS)
+    return SweepRunner()
+
+
+def timing_lines(runner: SweepRunner) -> str:
+    """Render a runner's batch summaries for the bench report."""
+    if not runner.summaries:
+        return "timing: no batches executed"
+    return "\n".join(f"timing: {summary}" for summary in runner.summaries)

@@ -2,13 +2,17 @@
 
 Subcommands:
 
-* ``simulate`` — run one trace-driven day and print the summary;
+* ``simulate`` — run one trace-driven day (or ``--runs`` repetitions,
+  optionally in parallel with ``--workers``) and print the summary;
+* ``sweep``    — run a Figure-8-shaped consolidation-host sweep, with
+  ``--workers`` fanning the runs out over processes;
 * ``micro``    — print a micro-benchmark table (table1, fig1, fig2,
   fig5, fig6, traffic);
 * ``traces``   — generate or summarize trace CSV files.
 
 The full evaluation sweeps live in ``benchmarks/`` (one per paper table
-or figure); the CLI covers interactive exploration.
+or figure); the CLI covers interactive exploration and smoke-testing
+the parallel sweep runner.
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from typing import List, Optional
 
 from repro.analysis import Cdf, format_percent, format_table
 from repro.core import policy_by_name, ALL_POLICIES
-from repro.farm import FarmConfig, simulate_day
+from repro.farm import FarmConfig, SweepRunner, simulate_day
 from repro.traces import (
     DayType,
     compute_ensemble_stats,
@@ -33,6 +37,13 @@ from repro.traces.sampler import TraceEnsemble
 
 def _day_type(value: str) -> DayType:
     return DayType(value.lower())
+
+
+def _make_runner(workers: int) -> SweepRunner:
+    """A process-backed runner when >1 worker is requested, else serial."""
+    if workers > 1:
+        return SweepRunner(backend="process", workers=workers)
+    return SweepRunner()
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -58,6 +69,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             print(f"  {label} days:   {format_percent(mean)} mean savings "
                   f"over {len(results)} days")
         return 0
+    if args.runs > 1:
+        return _simulate_repetitions(config, policy, args)
     result = simulate_day(config, policy, _day_type(args.day), seed=args.seed)
     print(f"policy:           {result.policy_name} ({result.day_type})")
     print(f"energy savings:   {format_percent(result.savings_fraction)}")
@@ -91,6 +104,81 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             [float(count) for count in result.powered_hosts], width=72
         ))
         print("              00:00" + " " * 28 + "12:00" + " " * 29 + "24:00")
+    return 0
+
+
+def _simulate_repetitions(
+    config: FarmConfig, policy, args: argparse.Namespace
+) -> int:
+    from statistics import mean, pstdev
+
+    from repro.farm import repetition_specs
+
+    runner = _make_runner(args.workers)
+    specs = repetition_specs(
+        config, policy, _day_type(args.day), runs=args.runs,
+        base_seed=args.seed,
+    )
+    outcomes = runner.run(specs)
+    rows = [
+        (outcome.spec.seed,
+         format_percent(outcome.result.savings_fraction),
+         f"{outcome.wall_time_s:.2f}",
+         outcome.worker,
+         "hit" if outcome.ensemble_cached else "miss")
+        for outcome in outcomes
+    ]
+    print(format_table(
+        ["seed", "savings", "wall (s)", "worker", "ensemble cache"], rows
+    ))
+    savings = [outcome.result.savings_fraction for outcome in outcomes]
+    spread = pstdev(savings) if len(savings) > 1 else 0.0
+    print(f"\nmean savings:     {format_percent(mean(savings))} "
+          f"(+/- {format_percent(spread)}, n={len(savings)})")
+    print(f"timing:           {runner.last_summary}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.farm import consolidation_host_sweep
+
+    try:
+        counts = tuple(
+            int(part) for part in args.consolidation_counts.split(",") if part
+        )
+    except ValueError:
+        print(f"bad --consolidation-counts {args.consolidation_counts!r}; "
+              "expected e.g. 2,4,6", file=sys.stderr)
+        return 2
+    if not counts:
+        print("--consolidation-counts must name at least one count",
+              file=sys.stderr)
+        return 2
+    config = FarmConfig(
+        home_hosts=args.home_hosts,
+        consolidation_hosts=counts[0],
+        vms_per_host=args.vms_per_host,
+    )
+    policies = (
+        list(ALL_POLICIES) if args.policy == "all"
+        else [policy_by_name(args.policy)]
+    )
+    runner = _make_runner(args.workers)
+    sweep = consolidation_host_sweep(
+        config, policies, _day_type(args.day),
+        consolidation_counts=counts, runs=args.runs, base_seed=args.seed,
+        runner=runner,
+    )
+    rows = []
+    for policy_name, series in sweep.items():
+        row = [policy_name]
+        for _count, point in series:
+            row.append(f"{format_percent(point.mean_savings)}"
+                       f"±{format_percent(point.std_savings)}")
+        rows.append(row)
+    headers = ["policy"] + [f"{count} cons" for count in counts]
+    print(format_table(headers, rows))
+    print(f"\ntiming: {runner.last_summary}")
     return 0
 
 
@@ -216,6 +304,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument(
+        "--runs", type=int, default=1,
+        help="independent repetitions (fresh trace draw per run)",
+    )
+    simulate.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for --runs > 1 (1 = serial)",
+    )
+    simulate.add_argument(
         "--week", action="store_true",
         help="simulate a calendar week (5 weekdays + 2 weekend days)",
     )
@@ -227,6 +323,31 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--consolidation-hosts", type=int, default=4)
     simulate.add_argument("--vms-per-host", type=int, default=30)
     simulate.set_defaults(handler=_cmd_simulate)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="consolidation-host sweep (Figure 8 shape), optionally parallel",
+    )
+    sweep.add_argument(
+        "--policy", default="all",
+        choices=["all"] + [p.name for p in ALL_POLICIES],
+    )
+    sweep.add_argument(
+        "--day", default="weekday", choices=["weekday", "weekend"]
+    )
+    sweep.add_argument("--runs", type=int, default=2)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sweep (1 = serial)",
+    )
+    sweep.add_argument(
+        "--consolidation-counts", default="2,4",
+        help="comma-separated consolidation-host counts to sweep",
+    )
+    sweep.add_argument("--home-hosts", type=int, default=30)
+    sweep.add_argument("--vms-per-host", type=int, default=30)
+    sweep.set_defaults(handler=_cmd_sweep)
 
     micro = sub.add_parser("micro", help="print a micro-benchmark table")
     micro.add_argument(

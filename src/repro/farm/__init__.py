@@ -4,11 +4,20 @@ This package wires every substrate together: it builds the rack
 (:mod:`repro.cluster`), assigns one VM per user trace, runs the Oasis
 manager (:mod:`repro.core`) over a simulated day on the discrete-event
 kernel, integrates energy, and collects the metrics behind every figure
-of the paper's evaluation.
+of the paper's evaluation.  :mod:`repro.farm.runner` fans the multi-run
+evaluation sweeps out over worker processes with deterministic results.
 """
 
 from repro.farm.config import FarmConfig
 from repro.farm.metrics import FarmResult, DelaySample
+from repro.farm.runner import (
+    RunOutcome,
+    RunProgress,
+    RunSpec,
+    SweepRunner,
+    SweepSummary,
+    execute_run,
+)
 from repro.farm.simulation import FarmSimulation, simulate_day
 from repro.farm.sweep import (
     SweepPoint,
@@ -16,6 +25,8 @@ from repro.farm.sweep import (
     consolidation_host_sweep,
     memory_server_power_sweep,
     cluster_shape_sweep,
+    repetition_specs,
+    run_repetitions,
 )
 from repro.farm.week import WeekReport, simulate_week
 from repro.farm.validate import validate_simulation
@@ -26,11 +37,19 @@ __all__ = [
     "DelaySample",
     "FarmSimulation",
     "simulate_day",
+    "RunSpec",
+    "RunOutcome",
+    "RunProgress",
+    "SweepRunner",
+    "SweepSummary",
+    "execute_run",
     "SweepPoint",
     "average_savings",
     "consolidation_host_sweep",
     "memory_server_power_sweep",
     "cluster_shape_sweep",
+    "repetition_specs",
+    "run_repetitions",
     "WeekReport",
     "simulate_week",
     "validate_simulation",

@@ -166,6 +166,7 @@ class FarmSimulation:
 
     def _on_interval(self, index: int) -> None:
         now = self.sim.now
+        self._collect_stale_horizons(now)
         self._update_activities(index, now)
         if not self.config.memory_server_present:
             self._charge_page_request_wakeups()
@@ -204,11 +205,38 @@ class FarmSimulation:
                         )
                     )
                 else:
-                    jitter = self._jitter_rng.uniform(1.0, jitter_max - 1.0)
+                    # Draw from the full (0, jitter_max] window.  The
+                    # bounds must not be narrowed by a margin: with
+                    # jitter_max < 2 a (1, jitter_max - 1) draw inverts
+                    # its bounds and can go negative, which
+                    # Simulator.schedule rejects mid-day.
+                    jitter = self._jitter_rng.uniform(0.0, jitter_max)
                     self.sim.schedule(
                         jitter, self._on_activation, vm_id,
                         label=f"activate-{vm_id}",
                     )
+
+    def _collect_stale_horizons(self, now: float) -> None:
+        """Drop scheduler horizons and settle marks that already passed.
+
+        Without this the per-resource horizon dicts and ``_settles_at``
+        only ever grow over a simulated day.  The watermark is safe:
+        every reservation starts at ``max(sim.now, not_before, ...)``
+        and the simulation clock is monotonic, so a horizon at or before
+        ``now`` can never push a future start later — it behaves exactly
+        like an absent (0.0) entry.  In-flight work keeps its entries:
+        live ``settles_at`` values and power-transition completion times
+        all lie strictly beyond ``now``, so the minimum over them and
+        ``now`` is ``now`` itself.
+        """
+        self.scheduler.clear_before(now)
+        settled = [
+            vm_id
+            for vm_id, settles_at in self._settles_at.items()
+            if settles_at <= now
+        ]
+        for vm_id in settled:
+            del self._settles_at[vm_id]
 
     def _charge_page_request_wakeups(self) -> None:
         """The no-memory-server ablation: sleeping homes pay to serve

@@ -1,8 +1,16 @@
 """Multi-run sweeps over the farm simulation (§5.3-5.6).
 
 Each figure of the evaluation averages five runs per configuration; the
-helpers here run those repetitions with independent trace draws and
-return means and standard deviations, mirroring Figure 8's error bars.
+helpers here build the full batch of independent day-runs for a figure,
+execute it through a :class:`~repro.farm.runner.SweepRunner` (serial by
+default; pass a process-backend runner to parallelize), and aggregate
+means and standard deviations, mirroring Figure 8's error bars.
+
+Every helper accepts ``runner=``: the batch is handed over in one call,
+so a process-backed runner overlaps *all* of a figure's runs, not just
+the repetitions of one point.  Results are grouped back by sweep point
+in spec order, which keeps the output byte-identical to the historical
+serial implementation.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ from repro.energy.profile import MemoryServerProfile
 from repro.errors import ConfigError
 from repro.farm.config import FarmConfig
 from repro.farm.metrics import FarmResult
-from repro.farm.simulation import simulate_day
+from repro.farm.runner import RunSpec, SweepRunner
 from repro.traces.model import DayType
 
 
@@ -36,20 +44,52 @@ class SweepPoint:
         )
 
 
+def _default_runner(runner: Optional[SweepRunner]) -> SweepRunner:
+    return runner if runner is not None else SweepRunner()
+
+
+def _require_runs(runs: int) -> None:
+    if runs < 1:
+        raise ConfigError("need at least one run")
+
+
+def repetition_specs(
+    config: FarmConfig,
+    policy: PolicySpec,
+    day_type: DayType,
+    runs: int = 5,
+    base_seed: int = 0,
+    label: str = "",
+) -> List[RunSpec]:
+    """The ``runs`` independent day-specs of one sweep point."""
+    _require_runs(runs)
+    return [
+        RunSpec(config, policy, day_type, seed=base_seed + index, label=label)
+        for index in range(runs)
+    ]
+
+
+def _aggregate(label: str, results: Sequence[FarmResult]) -> SweepPoint:
+    savings = [result.savings_fraction for result in results]
+    return SweepPoint(
+        label=label,
+        mean_savings=mean(savings),
+        std_savings=pstdev(savings) if len(savings) > 1 else 0.0,
+        runs=len(savings),
+    )
+
+
 def run_repetitions(
     config: FarmConfig,
     policy: PolicySpec,
     day_type: DayType,
     runs: int = 5,
     base_seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> List[FarmResult]:
     """Run ``runs`` independent days (fresh trace draw per run)."""
-    if runs < 1:
-        raise ConfigError("need at least one run")
-    return [
-        simulate_day(config, policy, day_type, seed=base_seed + index)
-        for index in range(runs)
-    ]
+    specs = repetition_specs(config, policy, day_type, runs, base_seed)
+    return _default_runner(runner).run_results(specs)
 
 
 def average_savings(
@@ -59,15 +99,14 @@ def average_savings(
     runs: int = 5,
     base_seed: int = 0,
     label: Optional[str] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> SweepPoint:
     """Mean/stddev energy savings over repeated runs."""
-    results = run_repetitions(config, policy, day_type, runs, base_seed)
-    savings = [result.savings_fraction for result in results]
-    return SweepPoint(
-        label=label if label is not None else f"{policy.name}/{day_type.value}",
-        mean_savings=mean(savings),
-        std_savings=pstdev(savings) if len(savings) > 1 else 0.0,
-        runs=runs,
+    results = run_repetitions(config, policy, day_type, runs, base_seed,
+                              runner=runner)
+    return _aggregate(
+        label if label is not None else f"{policy.name}/{day_type.value}",
+        results,
     )
 
 
@@ -78,21 +117,35 @@ def consolidation_host_sweep(
     consolidation_counts: Sequence[int] = (2, 4, 6, 8, 10, 12),
     runs: int = 5,
     base_seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, List[Tuple[int, SweepPoint]]]:
     """Figure 8: savings vs number of consolidation hosts per policy."""
-    sweep: Dict[str, List[Tuple[int, SweepPoint]]] = {}
+    _require_runs(runs)
+    specs: List[RunSpec] = []
     for policy in policies:
-        series: List[Tuple[int, SweepPoint]] = []
         for count in consolidation_counts:
-            point = average_savings(
+            specs.extend(repetition_specs(
                 config.with_overrides(consolidation_hosts=count),
                 policy,
                 day_type,
                 runs=runs,
                 base_seed=base_seed,
                 label=f"{policy.name}/{count} consolidation hosts",
-            )
-            series.append((count, point))
+            ))
+    results = _default_runner(runner).run_results(specs)
+    sweep: Dict[str, List[Tuple[int, SweepPoint]]] = {}
+    cursor = 0
+    for policy in policies:
+        series: List[Tuple[int, SweepPoint]] = []
+        for count in consolidation_counts:
+            chunk = results[cursor:cursor + runs]
+            cursor += runs
+            series.append((
+                count,
+                _aggregate(
+                    f"{policy.name}/{count} consolidation hosts", chunk
+                ),
+            ))
         sweep[policy.name] = series
     return sweep
 
@@ -103,21 +156,32 @@ def memory_server_power_sweep(
     watts_options: Sequence[float] = (42.2, 16.0, 8.0, 4.0, 2.0, 1.0),
     runs: int = 5,
     base_seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Tuple[float, SweepPoint, SweepPoint]]:
     """Table 3: weekday and weekend savings per memory-server design."""
-    rows: List[Tuple[float, SweepPoint, SweepPoint]] = []
+    _require_runs(runs)
+    specs: List[RunSpec] = []
     for watts in watts_options:
         variant = config.with_overrides(
             memory_server=MemoryServerProfile.alternative(watts)
         )
-        weekday = average_savings(
-            variant, policy, DayType.WEEKDAY, runs=runs, base_seed=base_seed,
-            label=f"{watts} W weekday",
+        for day_type in (DayType.WEEKDAY, DayType.WEEKEND):
+            specs.extend(repetition_specs(
+                variant, policy, day_type, runs=runs, base_seed=base_seed,
+                label=f"{watts} W {day_type.value}",
+            ))
+    results = _default_runner(runner).run_results(specs)
+    rows: List[Tuple[float, SweepPoint, SweepPoint]] = []
+    cursor = 0
+    for watts in watts_options:
+        weekday = _aggregate(
+            f"{watts} W weekday", results[cursor:cursor + runs]
         )
-        weekend = average_savings(
-            variant, policy, DayType.WEEKEND, runs=runs, base_seed=base_seed,
-            label=f"{watts} W weekend",
+        cursor += runs
+        weekend = _aggregate(
+            f"{watts} W weekend", results[cursor:cursor + runs]
         )
+        cursor += runs
         rows.append((watts, weekday, weekend))
     return rows
 
@@ -135,6 +199,7 @@ def cluster_shape_sweep(
     ),
     runs: int = 5,
     base_seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Tuple[str, SweepPoint]]:
     """Figure 12: vary home/consolidation host counts at a fixed 900 VMs.
 
@@ -142,8 +207,10 @@ def cluster_shape_sweep(
     the hosts' memory capacity, which scales with it) changes with the
     number of home hosts — e.g. 20 home hosts means 45 VMs per host.
     """
+    _require_runs(runs)
     total_vms = config.total_vms
-    rows: List[Tuple[str, SweepPoint]] = []
+    specs: List[RunSpec] = []
+    labels: List[str] = []
     for home_hosts, consolidation_hosts in shapes:
         if total_vms % home_hosts != 0:
             raise ConfigError(
@@ -156,9 +223,14 @@ def cluster_shape_sweep(
             host_capacity_mib=None,
         )
         label = f"{home_hosts}+{consolidation_hosts}"
-        point = average_savings(
+        labels.append(label)
+        specs.extend(repetition_specs(
             shaped, policy, day_type, runs=runs, base_seed=base_seed,
             label=label,
-        )
-        rows.append((label, point))
+        ))
+    results = _default_runner(runner).run_results(specs)
+    rows: List[Tuple[str, SweepPoint]] = []
+    for index, label in enumerate(labels):
+        chunk = results[index * runs:(index + 1) * runs]
+        rows.append((label, _aggregate(label, chunk)))
     return rows

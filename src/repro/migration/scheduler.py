@@ -19,7 +19,7 @@ The scheduler therefore tracks two horizons per host:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Tuple
+from typing import Dict, Hashable, Iterable, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -57,7 +57,7 @@ class HostBusyScheduler:
         host_ids: Iterable[Hashable],
         now: float,
         latency_s: float,
-        occupancy_s: float = None,
+        occupancy_s: Optional[float] = None,
         not_before: float = 0.0,
     ) -> Tuple[float, float]:
         """Queue an operation on all ``host_ids``; returns (start, end).

@@ -106,16 +106,18 @@ class Simulator:
         """Run until the event queue drains.
 
         ``max_events`` bounds the number of callbacks executed and guards
-        against runaway self-rescheduling loops; exceeding it raises
-        :class:`~repro.errors.SimulationError`.  Returns the number of
-        events fired by this call.
+        against runaway self-rescheduling loops: at most ``max_events``
+        callbacks run, and if events are still pending once the bound is
+        reached a :class:`~repro.errors.SimulationError` is raised.
+        Returns the number of events fired by this call.
         """
         fired = 0
         while self.step():
             fired += 1
-            if max_events is not None and fired > max_events:
+            if max_events is not None and fired >= max_events and self.pending:
                 raise SimulationError(
-                    f"exceeded max_events={max_events}; runaway event loop?"
+                    f"reached max_events={max_events} with events still "
+                    "pending; runaway event loop?"
                 )
         return fired
 

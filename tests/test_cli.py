@@ -25,6 +25,56 @@ class TestParser:
             args = build_parser().parse_args(["micro", table])
             assert args.table == table
 
+    def test_simulate_accepts_runs_and_workers(self):
+        args = build_parser().parse_args(
+            ["simulate", "--runs", "3", "--workers", "2"]
+        )
+        assert args.runs == 3
+        assert args.workers == 2
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.policy == "all"
+        assert args.workers == 1
+        assert args.consolidation_counts == "2,4"
+
+
+class TestSweepCommand:
+    def test_small_serial_sweep(self, capsys):
+        assert main([
+            "sweep", "--policy", "FulltoPartial", "--runs", "2",
+            "--consolidation-counts", "1,2",
+            "--home-hosts", "4", "--vms-per-host", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "FulltoPartial" in out
+        assert "1 cons" in out and "2 cons" in out
+        assert "timing:" in out
+        assert "serial backend" in out
+
+    def test_small_process_sweep(self, capsys):
+        assert main([
+            "sweep", "--policy", "FulltoPartial", "--runs", "2",
+            "--workers", "2", "--consolidation-counts", "1",
+            "--home-hosts", "4", "--vms-per-host", "4",
+        ]) == 0
+        assert "process backend x2" in capsys.readouterr().out
+
+    def test_bad_counts_rejected(self, capsys):
+        assert main([
+            "sweep", "--consolidation-counts", "two,4",
+        ]) == 2
+
+    def test_simulate_repetitions(self, capsys):
+        assert main([
+            "simulate", "--runs", "2",
+            "--home-hosts", "4", "--consolidation-hosts", "1",
+            "--vms-per-host", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean savings:" in out
+        assert "ensemble cache" in out
+
 
 class TestMicroCommands:
     def test_table1_output(self, capsys):

@@ -147,3 +147,68 @@ class TestDelayBookkeeping:
         result = simulation.run()
         sample = [d for d in result.delays if d.vm_id == 0][0]
         assert 100 * 300.0 <= sample.time_s < 101 * 300.0
+
+
+class TestActivationJitterBounds:
+    def test_sub_second_jitter_runs_the_whole_day(self):
+        # Regression: the jitter draw used to be uniform(1, jitter_max-1),
+        # which inverts its bounds for any valid jitter_max < 2 and can
+        # produce a negative delay that Simulator.schedule rejects with a
+        # SimulationError mid-day.
+        users = [
+            bits(list(range(10, 20)) + list(range(40, 50)) + [70, 90, 120])
+            for _ in range(4)
+        ]
+        config = tiny(activation_jitter_s=0.5)
+        simulation = FarmSimulation(config, FULL_TO_PARTIAL,
+                                    ensemble(users), seed=0)
+        result = simulation.run()  # pre-fix: SimulationError
+        assert result.delays
+
+    def test_jitter_stays_within_the_configured_window(self):
+        users = [bits(range(10, 20)) for _ in range(4)]
+        config = tiny(activation_jitter_s=30.0)
+        simulation = FarmSimulation(config, FULL_TO_PARTIAL,
+                                    ensemble(users), seed=3)
+        result = simulation.run()
+        # Activation samples land within jitter_max of their interval
+        # boundary (interval 10 starts at 3000 s).
+        activation_times = [
+            d.time_s for d in result.delays if 3000.0 <= d.time_s < 3300.0
+        ]
+        assert activation_times
+        for time_s in activation_times:
+            assert 3000.0 <= time_s <= 3000.0 + 30.0
+
+
+class TestHorizonGarbageCollection:
+    def test_stale_horizons_are_dropped_during_the_day(self):
+        # Hosts migrate early in the day and then idle; their busy
+        # horizons must not accumulate until the end of the day.
+        users = [bits(range(2, 5)) for _ in range(4)]
+        simulation = FarmSimulation(tiny(), FULL_TO_PARTIAL,
+                                    ensemble(users), seed=0)
+        simulation.run()
+        # All activity ended hours before midnight, so every horizon has
+        # passed the last interval's watermark and been collected.
+        assert not simulation.scheduler._busy_until
+        assert not simulation.scheduler._release_after
+        assert not simulation._settles_at
+
+    def test_collection_does_not_change_results(self, monkeypatch):
+        users = [
+            bits(list(range(5, 30)) + list(range(100, 130)))
+            for _ in range(4)
+        ]
+        with_gc = FarmSimulation(tiny(), FULL_TO_PARTIAL,
+                                 ensemble(users), seed=2).run()
+        monkeypatch.setattr(
+            FarmSimulation, "_collect_stale_horizons",
+            lambda self, now: None,
+        )
+        without_gc = FarmSimulation(tiny(), FULL_TO_PARTIAL,
+                                    ensemble(users), seed=2).run()
+        assert with_gc.savings_fraction == without_gc.savings_fraction
+        assert with_gc.counters == without_gc.counters
+        assert with_gc.delays == without_gc.delays
+        assert with_gc.powered_hosts == without_gc.powered_hosts

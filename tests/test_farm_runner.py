@@ -1,0 +1,221 @@
+"""The parallel sweep runner: determinism, caching, instrumentation."""
+
+import pickle
+
+import pytest
+
+from repro.core import FULL_TO_PARTIAL, ONLY_PARTIAL
+from repro.errors import ConfigError
+from repro.farm import (
+    FarmConfig,
+    RunSpec,
+    SweepRunner,
+    consolidation_host_sweep,
+    execute_run,
+    simulate_day,
+)
+from repro.farm.runner import (
+    clear_ensemble_cache,
+    ensemble_cache_stats,
+    _ensemble_for,
+)
+from repro.traces import DayType
+
+
+def small_config(**overrides):
+    defaults = dict(home_hosts=4, consolidation_hosts=2, vms_per_host=4)
+    defaults.update(overrides)
+    return FarmConfig(**defaults)
+
+
+def specs_matrix():
+    """A small Figure-8-shaped spec list: 2 policies x 2 counts x 2 seeds."""
+    out = []
+    for policy in (FULL_TO_PARTIAL, ONLY_PARTIAL):
+        for count in (1, 2):
+            config = small_config(consolidation_hosts=count)
+            for seed in (0, 1):
+                out.append(RunSpec(config, policy, DayType.WEEKDAY, seed))
+    return out
+
+
+def result_fingerprint(result):
+    """Everything a figure consumes, exact to the last delay sample."""
+    return (
+        result.savings_fraction,
+        result.counters,
+        result.delays,
+        result.active_vms,
+        result.powered_hosts,
+    )
+
+
+class TestRunSpec:
+    def test_spec_and_outcome_cross_process_boundaries(self):
+        spec = RunSpec(small_config(), FULL_TO_PARTIAL, DayType.WEEKDAY, 3)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        outcome = execute_run(spec)
+        round_tripped = pickle.loads(pickle.dumps(outcome))
+        assert result_fingerprint(round_tripped.result) == result_fingerprint(
+            outcome.result
+        )
+
+    def test_trace_seed_matches_simulate_day(self):
+        spec = RunSpec(small_config(), FULL_TO_PARTIAL, DayType.WEEKDAY, 5)
+        outcome = execute_run(spec)
+        reference = simulate_day(
+            small_config(), FULL_TO_PARTIAL, DayType.WEEKDAY, seed=5
+        )
+        assert result_fingerprint(outcome.result) == result_fingerprint(
+            reference
+        )
+
+    def test_ensemble_key_ignores_non_trace_config(self):
+        base = RunSpec(small_config(), FULL_TO_PARTIAL, DayType.WEEKDAY, 1)
+        other_policy = RunSpec(
+            small_config(), ONLY_PARTIAL, DayType.WEEKDAY, 1
+        )
+        richer = RunSpec(
+            small_config(memory_overcommit=1.5),
+            FULL_TO_PARTIAL, DayType.WEEKDAY, 1,
+        )
+        assert base.ensemble_key() == other_policy.ensemble_key()
+        assert base.ensemble_key() == richer.ensemble_key()
+        different_seed = RunSpec(
+            small_config(), FULL_TO_PARTIAL, DayType.WEEKDAY, 2
+        )
+        assert base.ensemble_key() != different_seed.ensemble_key()
+
+
+class TestEnsembleCache:
+    def test_second_draw_is_a_hit_and_the_same_object(self):
+        clear_ensemble_cache()
+        spec = RunSpec(small_config(), FULL_TO_PARTIAL, DayType.WEEKDAY, 7)
+        first, was_cached_first = _ensemble_for(spec)
+        again, was_cached_again = _ensemble_for(
+            RunSpec(small_config(), ONLY_PARTIAL, DayType.WEEKDAY, 7)
+        )
+        assert not was_cached_first
+        assert was_cached_again
+        assert again is first
+        assert ensemble_cache_stats() == (1, 1)
+
+    def test_outcomes_record_cache_reuse(self):
+        clear_ensemble_cache()
+        config = small_config()
+        specs = [
+            RunSpec(config, policy, DayType.WEEKDAY, 11)
+            for policy in (FULL_TO_PARTIAL, ONLY_PARTIAL)
+        ]
+        outcomes = SweepRunner().run(specs)
+        assert [o.ensemble_cached for o in outcomes] == [False, True]
+        assert SweepRunner().run(specs)[0].ensemble_cached  # still warm
+
+    def test_cached_run_equals_uncached_run(self):
+        config = small_config()
+        spec = RunSpec(config, FULL_TO_PARTIAL, DayType.WEEKDAY, 13)
+        clear_ensemble_cache()
+        cold = execute_run(spec)
+        warm = execute_run(spec)
+        assert not cold.ensemble_cached
+        assert warm.ensemble_cached
+        assert result_fingerprint(cold.result) == result_fingerprint(
+            warm.result
+        )
+
+
+class TestBackendDeterminism:
+    def test_process_backend_matches_serial_at_any_worker_count(self):
+        specs = specs_matrix()
+        serial = SweepRunner().run(specs)
+        for workers in (2, 3):
+            parallel = SweepRunner(backend="process", workers=workers).run(
+                specs
+            )
+            assert [o.spec for o in parallel] == specs
+            for serial_outcome, parallel_outcome in zip(serial, parallel):
+                assert result_fingerprint(
+                    serial_outcome.result
+                ) == result_fingerprint(parallel_outcome.result)
+
+    def test_results_ordered_by_spec_not_completion(self):
+        specs = specs_matrix()
+        outcomes = SweepRunner(backend="process", workers=2).run(specs)
+        assert [o.spec for o in outcomes] == specs
+        assert [o.result.seed for o in outcomes] == [s.seed for s in specs]
+
+    def test_consolidation_host_sweep_backend_equivalence(self):
+        sweep_args = (
+            small_config(), [FULL_TO_PARTIAL], DayType.WEEKDAY,
+        )
+        serial = consolidation_host_sweep(
+            *sweep_args, consolidation_counts=(1, 2), runs=2
+        )
+        parallel = consolidation_host_sweep(
+            *sweep_args, consolidation_counts=(1, 2), runs=2,
+            runner=SweepRunner(backend="process", workers=2),
+        )
+        assert serial == parallel
+
+
+class TestInstrumentation:
+    def test_summary_accounts_for_every_run(self):
+        specs = specs_matrix()
+        runner = SweepRunner()
+        runner.run(specs)
+        summary = runner.last_summary
+        assert summary.runs == len(specs)
+        assert summary.backend == "serial"
+        assert summary.wall_time_s > 0.0
+        assert summary.throughput_runs_per_s > 0.0
+        assert 0.0 < summary.run_wall_mean_s <= summary.run_wall_max_s
+        assert summary.run_wall_total_s >= summary.run_wall_max_s
+        assert sum(count for _worker, count in summary.worker_runs) == len(
+            specs
+        )
+        assert 0.0 < summary.worker_utilization <= 1.0
+        assert "runs/s" in str(summary)
+
+    def test_summaries_accumulate_per_batch(self):
+        runner = SweepRunner()
+        specs = specs_matrix()[:2]
+        runner.run(specs)
+        runner.run(specs)
+        assert len(runner.summaries) == 2
+        assert runner.last_summary is runner.summaries[-1]
+
+    def test_progress_callback_sees_every_completion(self):
+        seen = []
+        specs = specs_matrix()[:3]
+        runner = SweepRunner(progress=seen.append)
+        runner.run(specs)
+        assert [p.completed for p in seen] == [1, 2, 3]
+        assert all(p.total == 3 for p in seen)
+        assert [p.outcome.spec for p in seen] == specs  # serial: spec order
+
+    def test_progress_callback_fires_under_process_backend(self):
+        seen = []
+        specs = specs_matrix()[:3]
+        SweepRunner(backend="process", workers=2, progress=seen.append).run(
+            specs
+        )
+        assert sorted(p.completed for p in seen) == [1, 2, 3]
+
+
+class TestValidation:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepRunner(backend="threads")
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepRunner(backend="process", workers=0)
+
+    def test_serial_backend_reports_one_worker(self):
+        assert SweepRunner(backend="serial", workers=8).workers == 1
+
+    def test_empty_spec_list(self):
+        runner = SweepRunner()
+        assert runner.run([]) == []
+        assert runner.last_summary.runs == 0

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import FULL_TO_PARTIAL, ONLY_PARTIAL
 from repro.errors import ConfigError
-from repro.farm import FarmConfig
+from repro.farm import FarmConfig, SweepRunner
 from repro.farm.sweep import (
     average_savings,
     cluster_shape_sweep,
@@ -92,3 +92,27 @@ class TestSweeps:
                 small_config(), FULL_TO_PARTIAL, DayType.WEEKDAY,
                 shapes=((7, 2),), runs=1,
             )
+
+
+class TestRunnerIntegration:
+    def test_helpers_share_an_explicit_runner(self):
+        runner = SweepRunner()
+        run_repetitions(small_config(), FULL_TO_PARTIAL, DayType.WEEKDAY,
+                        runs=2, runner=runner)
+        memory_server_power_sweep(
+            small_config(), FULL_TO_PARTIAL, watts_options=(42.2,),
+            runs=1, runner=runner,
+        )
+        assert len(runner.summaries) == 2
+        assert runner.summaries[0].runs == 2
+        assert runner.summaries[1].runs == 2  # weekday + weekend
+
+    def test_explicit_runner_matches_default(self):
+        baseline = average_savings(
+            small_config(), FULL_TO_PARTIAL, DayType.WEEKDAY, runs=2,
+        )
+        explicit = average_savings(
+            small_config(), FULL_TO_PARTIAL, DayType.WEEKDAY, runs=2,
+            runner=SweepRunner(),
+        )
+        assert baseline == explicit

@@ -100,3 +100,13 @@ class TestRelease:
         scheduler.reserve([("sas", 1)], 0.0, 60.0)
         start, _ = scheduler.reserve([("nic", 1)], 0.0, 1.0)
         assert start == 0.0
+
+
+class TestSignature:
+    def test_occupancy_default_is_declared_optional(self):
+        # occupancy_s defaults to None; the annotation must say so
+        # (implicit Optional is rejected by mypy --strict and ruff).
+        import typing
+
+        hints = typing.get_type_hints(HostBusyScheduler.reserve)
+        assert hints["occupancy_s"] == typing.Optional[float]

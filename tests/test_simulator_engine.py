@@ -149,6 +149,29 @@ class TestGuards:
         with pytest.raises(SimulationError):
             sim.run(max_events=100)
 
+    def test_max_events_executes_exactly_the_bound(self):
+        # Regression: the guard used to check *after* executing, so
+        # max_events=N let N+1 callbacks run before raising.
+        sim = Simulator()
+        executed = []
+
+        def forever():
+            executed.append(sim.now)
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+        assert len(executed) == 100
+
+    def test_max_events_equal_to_queue_size_completes(self):
+        sim = Simulator()
+        fired = []
+        for index in range(5):
+            sim.schedule(float(index), fired.append, index)
+        assert sim.run(max_events=5) == 5
+        assert fired == [0, 1, 2, 3, 4]
+
     def test_events_fired_counter(self):
         sim = Simulator()
         for _ in range(4):
