@@ -26,6 +26,7 @@ SIMULATION_PACKAGES = (
     "repro.vm",
     "repro.migration",
     "repro.pagesim",
+    "repro.faults",
 )
 
 #: Attributes of the ``random`` module DET101 leaves to other rules:

@@ -25,6 +25,7 @@ from typing import List, Optional
 from repro.analysis import Cdf, format_percent, format_table
 from repro.core import policy_by_name, ALL_POLICIES
 from repro.farm import FarmConfig, SweepRunner, simulate_day
+from repro.faults import FAULT_PROFILE_NAMES, fault_profile_by_name
 from repro.traces import (
     DayType,
     compute_ensemble_stats,
@@ -51,6 +52,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         home_hosts=args.home_hosts,
         consolidation_hosts=args.consolidation_hosts,
         vms_per_host=args.vms_per_host,
+        faults=fault_profile_by_name(args.fault_profile),
     )
     policy = policy_by_name(args.policy)
     if args.week:
@@ -95,6 +97,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
     print(f"network traffic:  {result.traffic.network_total_mib():,.0f} MiB")
     print(f"migrations:       {result.counters}")
+    if not config.faults.is_null:
+        print(f"fault profile:    {config.faults.name}")
+        print(f"faults:           {result.faults}")
     if args.chart:
         from repro.analysis import sparkline
 
@@ -322,6 +327,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--home-hosts", type=int, default=30)
     simulate.add_argument("--consolidation-hosts", type=int, default=4)
     simulate.add_argument("--vms-per-host", type=int, default=30)
+    simulate.add_argument(
+        "--fault-profile", default="none", choices=list(FAULT_PROFILE_NAMES),
+        help="inject failures (migration aborts, failed wakes, memory-server "
+             "crashes, page timeouts) at the named rates",
+    )
     simulate.set_defaults(handler=_cmd_simulate)
 
     sweep = sub.add_parser(

@@ -57,6 +57,7 @@ class Host:
         "_partial_fraction",
         "_served_images",
         "memory_server_enabled",
+        "memory_server_failed",
     )
 
     def __init__(
@@ -80,6 +81,10 @@ class Host:
         #: Compute hosts carry a memory server; the evaluation never powers
         #: the ones attached to consolidation hosts (§5.1).
         self.memory_server_enabled = memory_server_enabled
+        #: Set by fault injection when the memory server dies; a failed
+        #: server draws no power and cannot serve pages, so a sleeping
+        #: host with served images must be force-woken.
+        self.memory_server_failed = False
 
     # -- memory accounting ----------------------------------------------
 
@@ -267,6 +272,29 @@ class Host:
     def complete_resume(self) -> None:
         check_transition(self.power_state, PowerState.POWERED)
         self.power_state = PowerState.POWERED
+
+    def fail_resume(self) -> None:
+        """A resume attempt failed: fall back to sleep (fault injection).
+
+        The attempt paid resume power for its full duration; the caller
+        owns retry scheduling and backoff.
+        """
+        check_transition(self.power_state, PowerState.SLEEPING)
+        self.power_state = PowerState.SLEEPING
+
+    # -- memory-server health (fault injection) --------------------------
+
+    def fail_memory_server(self) -> None:
+        """Mark this host's memory server as crashed."""
+        if not self.memory_server_enabled:
+            raise PowerStateError(
+                f"host {self.host_id} has no memory server to fail"
+            )
+        self.memory_server_failed = True
+
+    def repair_memory_server(self) -> None:
+        """Repair the memory server (the host woke up; idempotent)."""
+        self.memory_server_failed = False
 
     def __repr__(self) -> str:
         return (

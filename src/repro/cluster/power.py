@@ -37,7 +37,10 @@ _LEGAL_TRANSITIONS: Dict[PowerState, FrozenSet[PowerState]] = {
     PowerState.POWERED: frozenset({PowerState.SUSPENDING}),
     PowerState.SUSPENDING: frozenset({PowerState.SLEEPING}),
     PowerState.SLEEPING: frozenset({PowerState.RESUMING}),
-    PowerState.RESUMING: frozenset({PowerState.POWERED}),
+    # RESUMING -> SLEEPING models a failed wake attempt (the Wake-on-LAN
+    # packet is lost or the host hangs and is watchdogged back down);
+    # the attempt still pays resume power for its full duration.
+    PowerState.RESUMING: frozenset({PowerState.POWERED, PowerState.SLEEPING}),
 }
 
 

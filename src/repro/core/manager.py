@@ -136,6 +136,16 @@ class ClusterManager:
             vm.vm_id, ActivationAction.WAKE_HOME_RETURN_ALL, vm.home_id
         )
 
+    def reroute_activation(self, vm: VirtualMachine) -> Optional[int]:
+        """A fallback destination when the VM's home host will not wake.
+
+        Used by fault handling: when every wake retry of the home failed,
+        the activation is rerouted to any powered host with room for the
+        full VM.  Returns ``None`` when no such host exists (the caller
+        must then force the home awake regardless).
+        """
+        return self._find_new_home(vm)
+
     def _find_new_home(self, vm: VirtualMachine) -> Optional[int]:
         """A powered host (compute or consolidation) that fits the full VM."""
         candidates = [

@@ -44,12 +44,22 @@ class EnergyReport:
     managed_joules: float
     #: Energy of the always-powered home-host counterfactual, joules.
     baseline_joules: float
+    #: Injected faults the run absorbed (aborts, failed wakes, crashes,
+    #: timeouts); zero on a fault-free run.
+    fault_events: int = 0
+    #: Retries performed in response to those faults.
+    fault_retries: int = 0
+    #: Operations rolled back in response to those faults.
+    fault_rollbacks: int = 0
 
     def __post_init__(self) -> None:
         if self.baseline_joules <= 0.0:
             raise ConfigError("baseline energy must be positive")
         if self.managed_joules < 0.0:
             raise ConfigError("managed energy must be non-negative")
+        for name in ("fault_events", "fault_retries", "fault_rollbacks"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
 
     @property
     def savings_fraction(self) -> float:
@@ -65,8 +75,15 @@ class EnergyReport:
         return joules_to_wh(self.baseline_joules)
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"managed={self.managed_wh:.0f} Wh "
             f"baseline={self.baseline_wh:.0f} Wh "
             f"savings={self.savings_fraction:.1%}"
         )
+        if self.fault_events:
+            text += (
+                f" faults={self.fault_events}"
+                f" retries={self.fault_retries}"
+                f" rollbacks={self.fault_rollbacks}"
+            )
+        return text

@@ -38,3 +38,11 @@ class SimulationError(ReproError):
 
 class CompressionError(ReproError):
     """A compressed page stream is malformed and cannot be decoded."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan or fault profile is inconsistent with the cluster."""
+
+
+class PageFetchTimeout(ReproError):
+    """A demand page fetch from a memory server timed out (injected)."""

@@ -25,6 +25,7 @@ from repro.farm.sweep import (
     consolidation_host_sweep,
     memory_server_power_sweep,
     cluster_shape_sweep,
+    fault_rate_sweep,
     repetition_specs,
     run_repetitions,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "consolidation_host_sweep",
     "memory_server_power_sweep",
     "cluster_shape_sweep",
+    "fault_rate_sweep",
     "repetition_specs",
     "run_repetitions",
     "WeekReport",

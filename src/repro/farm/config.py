@@ -15,6 +15,7 @@ from typing import Optional
 from repro.core.placement import DestinationStrategy
 from repro.energy.profile import HostPowerProfile, MemoryServerProfile
 from repro.errors import ConfigError
+from repro.faults.profile import FaultProfile
 from repro.migration.costs import MigrationCostModel
 from repro.traces.generator import TraceGeneratorConfig
 from repro.units import DEFAULT_VM_MEMORY_MIB, TRACE_INTERVAL_SECONDS
@@ -80,6 +81,12 @@ class FarmConfig:
     #: VMs hold their working sets, so this is sparser than Figure 2's
     #: raw request streams.
     idle_page_request_gap_s: float = 120.0
+
+    # -- fault injection ---------------------------------------------------
+    #: Per-exposure failure rates for migrations, host wakes, memory
+    #: servers, and page fetches.  The default null profile injects
+    #: nothing and reproduces fault-free runs byte-for-byte.
+    faults: FaultProfile = field(default_factory=FaultProfile.none)
 
     # -- trace model ---------------------------------------------------------
     traces: TraceGeneratorConfig = field(default_factory=TraceGeneratorConfig)

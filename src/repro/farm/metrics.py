@@ -14,6 +14,7 @@ from typing import Dict, List
 
 from repro.energy.report import EnergyReport
 from repro.errors import ConfigError
+from repro.faults.model import FaultCounters
 from repro.migration.traffic import TrafficLedger
 
 
@@ -71,6 +72,9 @@ class FarmResult:
     delays: List[DelaySample] = field(default_factory=list)
     traffic: TrafficLedger = field(default_factory=TrafficLedger)
     counters: MigrationCounters = field(default_factory=MigrationCounters)
+    #: Injected faults and their recovery costs; all-zero on a run with
+    #: the null fault profile.
+    faults: FaultCounters = field(default_factory=FaultCounters)
 
     energy: EnergyReport = None  # type: ignore[assignment]
     #: Seconds each home host spent asleep, keyed by host id.

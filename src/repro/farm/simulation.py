@@ -46,6 +46,7 @@ from repro.energy.accounting import EnergyAccountant, StateTimeTracker
 from repro.energy.report import EnergyReport, baseline_energy_joules
 from repro.errors import CapacityError, ConfigError, SimulationError
 from repro.farm.config import FarmConfig
+from repro.faults import CLEAN_WAKE, FaultInjector, FaultPlan, backoff_delays_s
 from repro.farm.metrics import DelaySample, FarmResult
 from repro.migration.scheduler import HostBusyScheduler
 from repro.migration.traffic import TrafficCategory
@@ -58,6 +59,10 @@ from repro.vm.machine import VirtualMachine
 from repro.vm.state import Residency, VmActivity
 
 _SLEEP_STATE = "sleeping"
+
+#: Distinguishes "no wake chain in flight" from a chain that gave up
+#: (whose ``_wake_pending`` entry is ``None``).
+_NO_CHAIN = object()
 
 
 class FarmSimulation:
@@ -121,6 +126,26 @@ class FarmSimulation:
 
         self._jitter_rng = self.streams.get("activation-jitter")
         self._traffic_rng = self.streams.get("traffic")
+
+        # Fault injection: the plan fixes time-scheduled faults up front,
+        # the injector answers per-exposure queries.  With the default
+        # null profile neither ever draws, so fault-free runs reproduce
+        # historical output byte-for-byte.
+        self.fault_profile = config.faults
+        self._injector = FaultInjector(self.fault_profile, self.streams)
+        self.fault_plan = FaultPlan.build(
+            self.fault_profile,
+            [host.host_id for host in self.cluster.home_hosts],
+            SECONDS_PER_DAY,
+            self.streams.get("faults.plan"),
+        )
+        self.faults = self.result.faults
+        #: Host id -> final ready time of an in-flight faulty wake chain,
+        #: or None while a chain that will give up plays out.
+        self._wake_pending: Dict[int, Optional[float]] = {}
+        #: Host id -> when a giving-up chain's last attempt fails.
+        self._wake_chain_ends: Dict[int, float] = {}
+
         self._settles_at: Dict[int, float] = {}
         self._episode_open: Set[int] = set()
         self._transition_done: Dict[int, float] = {}
@@ -145,6 +170,11 @@ class FarmSimulation:
             self._refresh_power(host)
             self.tracker.set_state(host.host_id, host.power_state.value, now)
 
+        for host_id, crash_time in self.fault_plan.memserver_crashes:
+            self.sim.schedule_at(
+                crash_time, self._memserver_crash, host_id,
+                label=f"memserver-crash-{host_id}",
+            )
         intervals = int(SECONDS_PER_DAY / TRACE_INTERVAL_SECONDS)
         for index in range(intervals):
             boundary = index * TRACE_INTERVAL_SECONDS
@@ -335,10 +365,27 @@ class FarmSimulation:
             )
         )
 
-    def _convert_in_place(self, vm: VirtualMachine, now: float) -> float:
+    def _convert_in_place(
+        self, vm: VirtualMachine, now: float, fault_exempt: bool = False
+    ) -> float:
         host = self.cluster.host(vm.host_id)
         old_home = self.cluster.host(vm.home_id)
         pull_mib = vm.memory_mib - (vm.working_set_mib or 0.0)
+        fraction = None if fault_exempt else self._injector.migration_abort()
+        if fraction is not None:
+            # The image pull died mid-stream: the VM stays partial and
+            # the activation falls back to waking its home (§3.2); the
+            # rescue itself is fault-exempt so recovery terminates.
+            self._charge_aborted_attempt(
+                vm.vm_id, [("nic", host.host_id)], now,
+                self.config.costs.inplace_conversion_s,
+                self.config.costs.inplace_conversion_s,
+                TrafficCategory.CONVERSION_PULL, pull_mib, fraction,
+            )
+            self.faults.migration_retries += 1
+            return self._handle_wake_home_return_all(
+                vm, now, fault_exempt=True
+            )
         host.convert_vm_full_in_place(vm.vm_id)
         old_home.remove_served_image(vm.vm_id)
         # The remaining image streams in over the consolidation host's
@@ -359,11 +406,29 @@ class FarmSimulation:
         return now + self.config.costs.reintegration_s
 
     def _rehome(
-        self, vm: VirtualMachine, destination_id: int, now: float
+        self,
+        vm: VirtualMachine,
+        destination_id: int,
+        now: float,
+        fault_exempt: bool = False,
     ) -> float:
         source = self.cluster.host(vm.host_id)
         old_home = self.cluster.host(vm.home_id)
         destination = self.cluster.host(destination_id)
+        fraction = None if fault_exempt else self._injector.migration_abort()
+        if fraction is not None:
+            # The full migration died mid-transfer: roll back to the
+            # consolidated placement and wake the home instead.
+            self._charge_aborted_attempt(
+                vm.vm_id, [("nic", source.host_id)], now,
+                self.config.costs.full_migration_s,
+                self.config.costs.full_occupancy_s,
+                TrafficCategory.FULL_MIGRATION, vm.memory_mib, fraction,
+            )
+            self.faults.migration_retries += 1
+            return self._handle_wake_home_return_all(
+                vm, now, fault_exempt=True
+            )
         source.detach(vm.vm_id)
         vm.become_full_at(destination_id)
         destination.attach(vm)
@@ -385,7 +450,7 @@ class FarmSimulation:
         return end
 
     def _handle_wake_home_return_all(
-        self, trigger: VirtualMachine, now: float
+        self, trigger: VirtualMachine, now: float, fault_exempt: bool = False
     ) -> float:
         """Wake the trigger's home and return all of its VMs (§3.2).
 
@@ -393,9 +458,17 @@ class FarmSimulation:
         home serves and full VMs *originally homed* there that were
         re-homed onto consolidation hosts — migrating the latter back
         frees real space on the consolidation hosts (§3.2 Default).
+
+        Under fault injection the wake can exhaust its retry cap; the
+        trigger VM is then rerouted instead.  ``fault_exempt`` marks
+        rescue invocations (crash recovery, post-give-up fallback) that
+        must not themselves draw faults.
         """
         home = self.cluster.host(trigger.home_id)
-        ready = self._wake_host(home)
+        ready = self._wake_host(home, fault_exempt=fault_exempt)
+        if ready is None:
+            # The home refuses to wake: recover the trigger elsewhere.
+            return self._reroute_after_wake_failure(trigger, now)
         self.scheduler.extend(("nic", home.host_id), ready)
         trigger_end: Optional[float] = None
         returning = sorted(
@@ -408,6 +481,27 @@ class FarmSimulation:
                 # Foreign re-homed VMs may crowd the host; leave the
                 # stragglers consolidated rather than over-commit.
                 continue
+            if not fault_exempt:
+                fraction = self._injector.migration_abort()
+                if fraction is not None:
+                    self._charge_aborted_attempt(
+                        vm_id, [("nic", home.host_id)], now,
+                        self.config.costs.reintegration_s,
+                        self.config.costs.reintegration_occupancy_s,
+                        TrafficCategory.REINTEGRATION,
+                        self.config.costs.sample_reintegration_mib(
+                            self._traffic_rng
+                        ),
+                        fraction,
+                    )
+                    if vm_id != trigger.vm_id:
+                        # Stays consolidated; its image is still served,
+                        # so a later activation or pass recovers it.
+                        continue
+                    # The user is waiting on the trigger: retry the
+                    # reintegration immediately (it queues behind the
+                    # aborted attempt via the settle mark).
+                    self.faults.migration_retries += 1
             source = self.cluster.host(vm.host_id)
             # Reintegrations queue on the woken home's NIC: a resume
             # storm of many VMs returning to one host is what produces
@@ -434,7 +528,7 @@ class FarmSimulation:
                 trigger_end = end
             self._consider_suspend(source)
             self._refresh_power(source)
-        self._return_full_vms_home(home, now)
+        self._return_full_vms_home(home, now, fault_exempt=fault_exempt)
         self._refresh_power(home)
         if trigger_end is None:
             # The trigger could not fit back home (pathological crowding);
@@ -442,7 +536,32 @@ class FarmSimulation:
             trigger_end = ready + self.config.costs.reintegration_s
         return trigger_end
 
-    def _return_full_vms_home(self, home: Host, now: float) -> None:
+    def _reroute_after_wake_failure(
+        self, trigger: VirtualMachine, now: float
+    ) -> float:
+        """The home exhausted its wake retries: recover the trigger VM.
+
+        Preference order mirrors activation policy: convert in place if
+        the consolidation host has room, else re-home to any powered
+        host with capacity, else force the home awake after its failing
+        chain resolves (the rescue wake is fault-exempt, so recovery
+        always terminates).
+        """
+        self.faults.wake_reroutes += 1
+        host = self.cluster.host(trigger.host_id)
+        remaining = trigger.memory_mib - (trigger.working_set_mib or 0.0)
+        if host.can_fit(remaining):
+            return self._convert_in_place(trigger, now, fault_exempt=True)
+        destination = self.manager.reroute_activation(trigger)
+        if destination is not None:
+            return self._rehome(trigger, destination, now, fault_exempt=True)
+        return self._handle_wake_home_return_all(
+            trigger, now, fault_exempt=True
+        )
+
+    def _return_full_vms_home(
+        self, home: Host, now: float, fault_exempt: bool = False
+    ) -> None:
         """Migrate full VMs originally homed at ``home`` back to it,
         freeing consolidation-host capacity (§3.2)."""
         for vm in self.vms.values():
@@ -455,6 +574,19 @@ class FarmSimulation:
             if not home.can_fit(vm.memory_mib):
                 break
             source = self.cluster.host(vm.host_id)
+            if not fault_exempt:
+                fraction = self._injector.migration_abort()
+                if fraction is not None:
+                    # Rolled back: the VM stays full where it is; the
+                    # next wake of this home retries the return.
+                    self._charge_aborted_attempt(
+                        vm.vm_id, [("nic", source.host_id)], now,
+                        self.config.costs.full_migration_s,
+                        self.config.costs.full_occupancy_s,
+                        TrafficCategory.FULL_MIGRATION, vm.memory_mib,
+                        fraction,
+                    )
+                    continue
             _start, end = self.scheduler.reserve(
                 [("nic", source.host_id)],
                 now,
@@ -485,7 +617,22 @@ class FarmSimulation:
             return  # crowded by foreign VMs; skip this exchange
         home_had_vms = home.vm_count > 0 and home.is_powered
         ready = self._wake_host(home)
+        if ready is None:
+            return  # the home will not wake; a later pass retries
         self.scheduler.extend(("nic", home.host_id), ready)
+
+        fraction = self._injector.migration_abort()
+        if fraction is not None:
+            # Leg 1 died mid-transfer: the VM stays consolidated and the
+            # exchange is dropped; a later planning pass retries.
+            self._charge_aborted_attempt(
+                vm.vm_id, [("nic", consolidation.host_id)], now,
+                self.config.costs.full_migration_s,
+                self.config.costs.full_occupancy_s,
+                TrafficCategory.FULL_MIGRATION, vm.memory_mib, fraction,
+            )
+            self._refresh_power(home)
+            return
 
         # Leg 1: full migration back to the origin home (serialized on
         # the sending consolidation host's NIC).
@@ -506,6 +653,24 @@ class FarmSimulation:
         self._settles_at[vm.vm_id] = end_full
 
         if not home_had_vms:
+            fraction = self._injector.migration_abort()
+            if fraction is not None:
+                # Leg 2 (the SAS re-upload) died: the VM stays full at
+                # its home, which therefore cannot sleep this round.
+                self._charge_aborted_attempt(
+                    vm.vm_id, [("sas", home.host_id)], now,
+                    self.config.costs.partial_migration_s,
+                    self.config.costs.partial_occupancy_s,
+                    TrafficCategory.MEMORY_UPLOAD_SAS,
+                    self.config.costs.sample_sas_upload_mib(
+                        self._traffic_rng
+                    ),
+                    fraction,
+                )
+                self.result.counters.exchanges += 1
+                self._refresh_power(home)
+                self._refresh_power(consolidation)
+                return
             # Leg 2: immediately re-consolidate as a partial VM so the
             # home can go back to sleep.
             _start, end_partial = self.scheduler.reserve(
@@ -545,6 +710,29 @@ class FarmSimulation:
         for migration in plan.migrations:
             vm = self.vms[migration.vm_id]
             destination = self.cluster.host(migration.destination_id)
+            fraction = self._injector.migration_abort()
+            if fraction is not None:
+                # Rolled back: the VM stays put; the host simply is not
+                # emptied this round and a later pass retries.
+                if migration.mode is MigrationMode.PARTIAL:
+                    self._charge_aborted_attempt(
+                        vm.vm_id, [("nic", source.host_id)], now,
+                        costs.partial_relocation_s,
+                        costs.relocation_occupancy_s,
+                        TrafficCategory.PARTIAL_DESCRIPTOR,
+                        costs.sample_descriptor_mib(self._traffic_rng)
+                        + (vm.working_set_mib or 0.0),
+                        fraction,
+                    )
+                else:
+                    self._charge_aborted_attempt(
+                        vm.vm_id, [("nic", source.host_id)], now,
+                        costs.full_migration_s,
+                        costs.full_occupancy_s,
+                        TrafficCategory.FULL_MIGRATION, vm.memory_mib,
+                        fraction,
+                    )
+                continue
             if migration.mode is MigrationMode.PARTIAL:
                 _start, end = self.scheduler.reserve(
                     [("nic", source.host_id)],
@@ -591,7 +779,34 @@ class FarmSimulation:
             destination = self.cluster.host(migration.destination_id)
             dest_ready = now
             if not destination.is_powered:
-                dest_ready = self._wake_host(destination)
+                woke = self._wake_host(destination)
+                if woke is None:
+                    continue  # destination will not wake; VM stays put
+                dest_ready = woke
+            fraction = self._injector.migration_abort()
+            if fraction is not None:
+                # Rolled back: the VM stays on the source host, which
+                # therefore cannot be vacated this round.
+                if migration.mode is MigrationMode.PARTIAL:
+                    self._charge_aborted_attempt(
+                        vm.vm_id, [("sas", source.host_id)], now,
+                        self.config.costs.partial_migration_s,
+                        self.config.costs.partial_occupancy_s,
+                        TrafficCategory.MEMORY_UPLOAD_SAS,
+                        self.config.costs.sample_sas_upload_mib(
+                            self._traffic_rng
+                        ),
+                        fraction,
+                    )
+                else:
+                    self._charge_aborted_attempt(
+                        vm.vm_id, [("nic", source.host_id)], now,
+                        self.config.costs.full_migration_s,
+                        self.config.costs.full_occupancy_s,
+                        TrafficCategory.FULL_MIGRATION, vm.memory_mib,
+                        fraction,
+                    )
+                continue
             if migration.mode is MigrationMode.PARTIAL:
                 # The SAS upload serializes on the source; the small
                 # descriptor push does not tie up the destination.
@@ -641,13 +856,58 @@ class FarmSimulation:
         )
 
     def _close_episode(self, vm_id: int) -> None:
-        """End one consolidation episode: charge its demand-fault traffic."""
+        """End one consolidation episode: charge its demand-fault traffic.
+
+        Injected page-fetch timeouts re-send part of the burst; the
+        retry traffic lands in the same ledger category (real bytes on
+        the same wire) and is additionally tracked per-fault.
+        """
         if vm_id in self._episode_open:
             self._episode_open.discard(vm_id)
             self.result.traffic.add(
                 TrafficCategory.ON_DEMAND_PAGES,
                 self.config.costs.sample_on_demand_mib(self._traffic_rng),
             )
+            timeouts = self._injector.page_timeouts()
+            if timeouts:
+                retry_mib = timeouts * self.fault_profile.page_retry_mib
+                self.result.traffic.add(
+                    TrafficCategory.ON_DEMAND_PAGES, retry_mib
+                )
+                self.faults.page_fetch_timeouts += timeouts
+                self.faults.page_retry_traffic_mib += retry_mib
+
+    def _charge_aborted_attempt(
+        self,
+        vm_id: int,
+        resources: List,
+        now: float,
+        latency_s: float,
+        occupancy_s: float,
+        category: TrafficCategory,
+        nominal_mib: float,
+        fraction: float,
+    ) -> float:
+        """Roll back an aborted migration attempt.
+
+        Placement is untouched; the wire time and traffic already spent
+        when the abort fired (``fraction`` of the nominal operation) are
+        charged to the original bottleneck and ledger category, and the
+        VM's settle mark advances so a retry queues behind the wreck.
+        """
+        _start, end = self.scheduler.reserve(
+            resources,
+            now,
+            latency_s * fraction,
+            occupancy_s=occupancy_s * fraction,
+            not_before=self._settles_at.get(vm_id, 0.0),
+        )
+        mib = nominal_mib * fraction
+        self.result.traffic.add(category, mib)
+        self.faults.migration_aborts += 1
+        self.faults.aborted_traffic_mib += mib
+        self._settles_at[vm_id] = end
+        return end
 
     def _host_release_after(self, host_id: int) -> float:
         """When the host's last in-flight transfer (on either its NIC or
@@ -661,30 +921,180 @@ class FarmSimulation:
     # power-state orchestration
     # ------------------------------------------------------------------
 
-    def _wake_host(self, host: Host) -> float:
-        """Ensure ``host`` is heading to POWERED; return when it is ready."""
+    def _wake_host(
+        self, host: Host, fault_exempt: bool = False
+    ) -> Optional[float]:
+        """Ensure ``host`` is heading to POWERED; return when it is ready.
+
+        Returns ``None`` when fault injection exhausted the wake retry
+        cap: the host stays asleep and the caller must reroute or skip.
+        With ``fault_exempt`` the wake always eventually succeeds —
+        rescue paths (crash recovery, post-give-up fallback) must not
+        themselves fail, or recovery would not terminate.
+        """
         now = self.sim.now
+        host_id = host.host_id
+        profile = self.config.host_power
+        pending = self._wake_pending.get(host_id, _NO_CHAIN)
+        if pending is not _NO_CHAIN:
+            if pending is not None:
+                return pending
+            if not fault_exempt:
+                return None
+            # A giving-up chain is in flight; force a clean wake once
+            # its last attempt resolves (the host is busy until then).
+            self._count_wakeup(host)
+            chain_end = self._wake_chain_ends[host_id]
+            ready = chain_end + profile.resume_s
+            self._wake_pending[host_id] = ready
+            self.sim.schedule_at(
+                chain_end, self._retry_resume_attempt, host_id, ready,
+                label=f"resume-forced-{host_id}",
+            )
+            self.sim.schedule_at(
+                ready, self._complete_resume, host_id,
+                label=f"resume-{host_id}",
+            )
+            return ready
         state = host.power_state
         if state is PowerState.POWERED:
             return now
         if state is PowerState.RESUMING:
-            return self._transition_done[host.host_id]
-        profile = self.config.host_power
+            return self._transition_done[host_id]
         if state is PowerState.SLEEPING:
             self._count_wakeup(host)
+            outcome = (
+                CLEAN_WAKE if fault_exempt else self._injector.wake_outcome()
+            )
+            if not outcome.is_clean:
+                return self._begin_faulty_wake(host, outcome, now)
             host.begin_resume()
             done = now + profile.resume_s
-            self._transition_done[host.host_id] = done
+            self._transition_done[host_id] = done
             self._note_power_state(host)
             self.sim.schedule_at(
-                done, self._complete_resume, host.host_id,
-                label=f"resume-{host.host_id}",
+                done, self._complete_resume, host_id,
+                label=f"resume-{host_id}",
             )
             return done
         # SUSPENDING: let the suspend finish, then bounce straight back.
-        self._wake_after_suspend.add(host.host_id)
+        self._wake_after_suspend.add(host_id)
         self._count_wakeup(host)
-        return self._transition_done[host.host_id] + profile.resume_s
+        return self._transition_done[host_id] + profile.resume_s
+
+    def _begin_faulty_wake(
+        self, host: Host, outcome, now: float
+    ) -> Optional[float]:
+        """Play out a wake whose first attempts fail (fault injection).
+
+        Each failed attempt is a full resume transition at resume power
+        that falls back to sleep (RESUMING -> SLEEPING); retries wait
+        out exponential backoff between attempts.  The whole chain is
+        committed to the event queue up front — the attempt count was
+        already drawn — and its eventual outcome is returned now, so
+        callers handle give-ups synchronously like every other decision.
+        """
+        host_id = host.host_id
+        resume_s = self.config.host_power.resume_s
+        backoffs = backoff_delays_s(
+            self.fault_profile.wake_backoff_base_s, outcome.failed_attempts
+        )
+        start = now
+        fail_times: List[float] = []
+        for index in range(outcome.failed_attempts):
+            fail_times.append(start + resume_s)
+            start = fail_times[-1] + backoffs[index]
+        if outcome.gave_up:
+            # The failure after the last retry is not itself retried.
+            self.faults.wake_retries += outcome.failed_attempts - 1
+            self.faults.wake_give_ups += 1
+            ready: Optional[float] = None
+            self._wake_chain_ends[host_id] = fail_times[-1]
+        else:
+            self.faults.wake_retries += outcome.failed_attempts
+            ready = start + resume_s
+        self._wake_pending[host_id] = ready
+        # The first attempt starts immediately; the rest are scheduled.
+        host.begin_resume()
+        self._transition_done[host_id] = fail_times[0]
+        self._note_power_state(host)
+        last = outcome.gave_up and outcome.failed_attempts == 1
+        self.sim.schedule_at(
+            fail_times[0], self._fail_resume_attempt, host_id, last,
+            label=f"resume-fail-{host_id}",
+        )
+        for index in range(1, outcome.failed_attempts):
+            self.sim.schedule_at(
+                fail_times[index] - resume_s,
+                self._retry_resume_attempt, host_id, fail_times[index],
+                label=f"resume-retry-{host_id}",
+            )
+            last = outcome.gave_up and index == outcome.failed_attempts - 1
+            self.sim.schedule_at(
+                fail_times[index], self._fail_resume_attempt, host_id, last,
+                label=f"resume-fail-{host_id}",
+            )
+        if not outcome.gave_up:
+            self.sim.schedule_at(
+                start, self._retry_resume_attempt, host_id, ready,
+                label=f"resume-retry-{host_id}",
+            )
+            self.sim.schedule_at(
+                ready, self._complete_resume, host_id,
+                label=f"resume-{host_id}",
+            )
+        return ready
+
+    def _retry_resume_attempt(self, host_id: int, done: float) -> None:
+        """One retry of a faulty wake chain begins its resume transition."""
+        host = self.cluster.host(host_id)
+        host.begin_resume()
+        self._transition_done[host_id] = done
+        self._note_power_state(host)
+
+    def _fail_resume_attempt(self, host_id: int, last: bool) -> None:
+        """One attempt of a faulty wake chain fails back to sleep."""
+        host = self.cluster.host(host_id)
+        host.fail_resume()
+        self._note_power_state(host)
+        if last and self._wake_pending.get(host_id, _NO_CHAIN) is None:
+            # The chain gave up and no forced wake was layered on top:
+            # the host is plain asleep again and new wakes start fresh.
+            del self._wake_pending[host_id]
+            self._wake_chain_ends.pop(host_id, None)
+
+    def _memserver_crash(self, host_id: int) -> None:
+        """A scheduled memory-server crash fires (fault plan).
+
+        A crash only matters while the host sleeps (or is suspending):
+        that is when the server is the sole source of consolidated VMs'
+        memory.  If any images are being served, the home is force-woken
+        — retries notwithstanding — and takes all of its VMs back; the
+        server is repaired by the time the host completes any resume.
+        """
+        if not self.config.memory_server_present:
+            return
+        host = self.cluster.host(host_id)
+        if not host.memory_server_enabled:
+            return
+        self.faults.memserver_crashes += 1
+        if host.power_state in (PowerState.POWERED, PowerState.RESUMING):
+            # The host is up (or waking): the dead server is detected
+            # and swapped before it ever matters.
+            return
+        host.fail_memory_server()
+        self._refresh_power(host)
+        if host.served_image_count == 0:
+            return
+        self.faults.crash_forced_wakeups += 1
+        trigger = self.vms[min(host.served_image_ids)]
+        before = self.result.counters.reintegrations
+        self._handle_wake_home_return_all(
+            trigger, self.sim.now, fault_exempt=True
+        )
+        self.faults.crash_forced_reintegrations += (
+            self.result.counters.reintegrations - before
+        )
 
     def _count_wakeup(self, host: Host) -> None:
         if host.role is HostRole.COMPUTE:
@@ -695,6 +1105,11 @@ class FarmSimulation:
     def _complete_resume(self, host_id: int) -> None:
         host = self.cluster.host(host_id)
         host.complete_resume()
+        # A powered host has its memory server swapped/repaired, and any
+        # faulty wake chain that ended here is fully resolved.
+        host.repair_memory_server()
+        self._wake_pending.pop(host_id, None)
+        self._wake_chain_ends.pop(host_id, None)
         self._note_power_state(host)
 
     def _consider_suspend(self, host: Host) -> None:
@@ -773,7 +1188,11 @@ class FarmSimulation:
             watts = profile.resume_w
         else:  # SLEEPING
             watts = profile.sleep_w
-            if host.memory_server_enabled and self.config.memory_server_present:
+            if (
+                host.memory_server_enabled
+                and self.config.memory_server_present
+                and not host.memory_server_failed
+            ):
                 watts += self.config.memory_server.total_w
         self.accountant.set_power(host.host_id, watts, self.sim.now)
 
@@ -791,7 +1210,11 @@ class FarmSimulation:
             duration_s=horizon,
         )
         self.result.energy = EnergyReport(
-            managed_joules=managed, baseline_joules=baseline
+            managed_joules=managed,
+            baseline_joules=baseline,
+            fault_events=self.faults.total_events,
+            fault_retries=self.faults.total_retries,
+            fault_rollbacks=self.faults.total_rollbacks,
         )
         for host in self.cluster.home_hosts:
             self.result.home_sleep_s[host.host_id] = self.tracker.duration(

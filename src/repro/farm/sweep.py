@@ -25,6 +25,7 @@ from repro.errors import ConfigError
 from repro.farm.config import FarmConfig
 from repro.farm.metrics import FarmResult
 from repro.farm.runner import RunSpec, SweepRunner
+from repro.faults.profile import FaultProfile
 from repro.traces.model import DayType
 
 
@@ -183,6 +184,50 @@ def memory_server_power_sweep(
         )
         cursor += runs
         rows.append((watts, weekday, weekend))
+    return rows
+
+
+def fault_rate_sweep(
+    config: FarmConfig,
+    policy: PolicySpec,
+    day_type: DayType,
+    base_profile: Optional[FaultProfile] = None,
+    scale_factors: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 4.0),
+    runs: int = 5,
+    base_seed: int = 0,
+    runner: Optional[SweepRunner] = None,
+) -> List[Tuple[float, SweepPoint, List[FarmResult]]]:
+    """Graceful degradation: savings vs injected fault rate.
+
+    Every fault probability of ``base_profile`` (default: the ``light``
+    reference profile) is scaled by each factor; retry/abort semantics
+    knobs stay fixed, so the curve isolates the failure *rate*.  The
+    0.0 point is the fault-free control — identical traces and seeds,
+    zero injections — making the rows directly comparable.  Raw results
+    ride along so callers can aggregate fault counters, not just energy.
+    """
+    _require_runs(runs)
+    profile = (
+        base_profile if base_profile is not None else FaultProfile.light()
+    )
+    specs: List[RunSpec] = []
+    labels: List[str] = []
+    for factor in scale_factors:
+        if factor < 0.0:
+            raise ConfigError(
+                f"fault scale factors must be non-negative, got {factor}"
+            )
+        label = f"{profile.name}x{factor:g}"
+        labels.append(label)
+        specs.extend(repetition_specs(
+            config.with_overrides(faults=profile.scaled(factor, name=label)),
+            policy, day_type, runs=runs, base_seed=base_seed, label=label,
+        ))
+    results = _default_runner(runner).run_results(specs)
+    rows: List[Tuple[float, SweepPoint, List[FarmResult]]] = []
+    for index, factor in enumerate(scale_factors):
+        chunk = results[index * runs:(index + 1) * runs]
+        rows.append((factor, _aggregate(labels[index], chunk), chunk))
     return rows
 
 

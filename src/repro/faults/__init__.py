@@ -1,0 +1,37 @@
+"""Deterministic fault injection for the farm simulator.
+
+The package models the failure modes a real consolidation deployment
+faces — aborted migrations, hosts that refuse to wake, memory-server
+crashes, transient page-fetch timeouts — as seeded, reproducible
+schedules threaded through the discrete-event simulation.  A null
+profile injects nothing and reproduces fault-free runs byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from repro.faults.model import (
+    CLEAN_WAKE,
+    FaultCounters,
+    WakeOutcome,
+    backoff_delays_s,
+)
+from repro.faults.plan import FaultInjector, FaultPlan
+from repro.faults.profile import (
+    FAULT_PROFILE_NAMES,
+    FAULT_PROFILES,
+    FaultProfile,
+    fault_profile_by_name,
+)
+
+__all__ = [
+    "FaultProfile",
+    "FAULT_PROFILES",
+    "FAULT_PROFILE_NAMES",
+    "fault_profile_by_name",
+    "FaultPlan",
+    "FaultInjector",
+    "WakeOutcome",
+    "CLEAN_WAKE",
+    "FaultCounters",
+    "backoff_delays_s",
+]

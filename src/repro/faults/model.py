@@ -1,0 +1,148 @@
+"""Fault-outcome records and the degradation counters.
+
+These are the small value objects the injector hands the simulation and
+the simulation hands the metrics layer.  They carry no randomness of
+their own: every stochastic decision is made by
+:class:`repro.faults.plan.FaultInjector` from seeded streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "WakeOutcome",
+    "FaultCounters",
+    "backoff_delays_s",
+]
+
+
+def backoff_delays_s(base_s: float, attempts: int) -> List[float]:
+    """Exponential backoff schedule: delay before retry ``i`` (0-based).
+
+    ``backoff_delays_s(4.0, 3) == [4.0, 8.0, 16.0]``.
+    """
+    if base_s <= 0.0:
+        raise ConfigError(f"backoff base must be positive, got {base_s}")
+    if attempts < 0:
+        raise ConfigError(f"attempt count must be non-negative, got {attempts}")
+    return [base_s * (2.0 ** index) for index in range(attempts)]
+
+
+@dataclass(frozen=True)
+class WakeOutcome:
+    """How one host wake request plays out under fault injection."""
+
+    #: Resume attempts that fail before success (or before giving up).
+    failed_attempts: int
+    #: True when the retry cap was exhausted and the host never woke;
+    #: the caller must fall back (reroute the VM, skip the migration).
+    gave_up: bool
+
+    def __post_init__(self) -> None:
+        if self.failed_attempts < 0:
+            raise ConfigError("failed_attempts must be non-negative")
+
+    @property
+    def is_clean(self) -> bool:
+        return self.failed_attempts == 0 and not self.gave_up
+
+
+#: The clean outcome, shared so the common no-fault path allocates nothing.
+CLEAN_WAKE = WakeOutcome(failed_attempts=0, gave_up=False)
+
+
+@dataclass
+class FaultCounters:
+    """Injected faults and their recovery costs over one simulated day.
+
+    Deliberately separate from
+    :class:`repro.farm.metrics.MigrationCounters`: a zero-fault run must
+    reproduce historical output byte-for-byte, including the counters'
+    printed repr.
+    """
+
+    #: Migrations aborted mid-flight and rolled back.
+    migration_aborts: int = 0
+    #: Immediate same-operation retries after a rollback (the activation
+    #: path retries a user-visible reintegration right away; planner
+    #: work is retried by the next planning pass instead and not counted
+    #: here).
+    migration_retries: int = 0
+    #: Traffic charged for aborted attempts (already on the wire when the
+    #: abort fired), MiB.  Also folded into the regular ledger categories
+    #: so Figure 10 reflects real bytes moved.
+    aborted_traffic_mib: float = 0.0
+    #: Failed host resume attempts that were retried with backoff.
+    wake_retries: int = 0
+    #: Wake sequences that exhausted the retry cap.
+    wake_give_ups: int = 0
+    #: Activations rerouted to another host because their home never woke.
+    wake_reroutes: int = 0
+    #: Memory-server crash events injected.
+    memserver_crashes: int = 0
+    #: Sleeping home hosts force-woken because their memory server died
+    #: while serving consolidated VMs — the §3.3 pathology, quantified.
+    crash_forced_wakeups: int = 0
+    #: Partial VMs reintegrated by those forced wakeups.
+    crash_forced_reintegrations: int = 0
+    #: Demand page-fetch bursts that timed out and were re-sent.
+    page_fetch_timeouts: int = 0
+    #: Traffic re-sent by those retries, MiB (also in the ledger).
+    page_retry_traffic_mib: float = 0.0
+
+    @property
+    def total_events(self) -> int:
+        """Every injected fault, across classes."""
+        return (
+            self.migration_aborts
+            + self.wake_retries
+            + self.wake_give_ups
+            + self.memserver_crashes
+            + self.page_fetch_timeouts
+        )
+
+    @property
+    def total_retries(self) -> int:
+        """Every retry performed in response to an injected fault."""
+        return (
+            self.migration_retries
+            + self.wake_retries
+            + self.page_fetch_timeouts
+        )
+
+    @property
+    def total_rollbacks(self) -> int:
+        """Every operation rolled back in response to an injected fault."""
+        return self.migration_aborts
+
+    def as_dict(self) -> Dict[str, float]:
+        """Field values keyed by name (report serialization)."""
+        return {
+            name: getattr(self, name)
+            for name in (
+                "migration_aborts",
+                "migration_retries",
+                "aborted_traffic_mib",
+                "wake_retries",
+                "wake_give_ups",
+                "wake_reroutes",
+                "memserver_crashes",
+                "crash_forced_wakeups",
+                "crash_forced_reintegrations",
+                "page_fetch_timeouts",
+                "page_retry_traffic_mib",
+            )
+        }
+
+    def __str__(self) -> str:
+        parts = [
+            f"{name}={value:g}" if isinstance(value, float)
+            else f"{name}={value}"
+            for name, value in self.as_dict().items()
+            if value
+        ]
+        return f"FaultCounters({', '.join(parts) or 'clean'})"

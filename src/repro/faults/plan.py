@@ -1,0 +1,165 @@
+"""The seeded fault schedule and the runtime injector.
+
+Two layers keep fault injection deterministic and decoupled:
+
+* :class:`FaultPlan` is built **once, up front**, from a named
+  :class:`~repro.simulator.randomness.RngStreams` stream: it fixes every
+  fault that is scheduled against absolute simulation time (today:
+  memory-server crash instants per home host).
+* :class:`FaultInjector` answers **per-exposure** queries at runtime
+  (does *this* migration abort? how many resume attempts does *this*
+  wake need?) from its own per-fault-class streams, so enabling one
+  fault class never perturbs the draws of another — ablations compare
+  like with like.
+
+Neither layer ever touches wall clocks or the global ``random`` module;
+``repro.checkers``'s DET rules enforce this statically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import FaultInjectionError
+from repro.faults.model import CLEAN_WAKE, WakeOutcome
+from repro.faults.profile import FaultProfile
+from repro.simulator.randomness import RngStreams
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Time-scheduled faults for one simulated day, fixed before it runs."""
+
+    #: ``(host_id, crash_time_s)`` pairs, one per crashing memory server,
+    #: in host-id order.  At most one crash per host per day.
+    memserver_crashes: Tuple[Tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for host_id, crash_time in self.memserver_crashes:
+            if host_id in seen:
+                raise FaultInjectionError(
+                    f"host {host_id} has more than one scheduled crash"
+                )
+            seen.add(host_id)
+            if crash_time < 0.0:
+                raise FaultInjectionError(
+                    f"crash time {crash_time} for host {host_id} is negative"
+                )
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.memserver_crashes
+
+    def crash_schedule(self) -> Dict[int, float]:
+        """Crash instant per host id."""
+        return dict(self.memserver_crashes)
+
+    @classmethod
+    def build(
+        cls,
+        profile: FaultProfile,
+        home_host_ids: Sequence[int],
+        horizon_s: float,
+        rng: random.Random,
+    ) -> "FaultPlan":
+        """Draw the day's scheduled faults from a seeded stream.
+
+        With a null profile this returns an empty plan without drawing,
+        so a zero-fault run consumes exactly the same random sequences
+        as a build without fault support at all.
+        """
+        if horizon_s <= 0.0:
+            raise FaultInjectionError(
+                f"plan horizon must be positive, got {horizon_s}"
+            )
+        if profile.memserver_crash_prob <= 0.0:
+            return cls()
+        crashes = []
+        for host_id in home_host_ids:
+            if rng.random() < profile.memserver_crash_prob:
+                crashes.append((host_id, rng.uniform(0.0, horizon_s)))
+        return cls(memserver_crashes=tuple(crashes))
+
+
+class FaultInjector:
+    """Answers per-exposure fault queries from seeded per-class streams.
+
+    One injector serves one simulation run.  Each fault class draws from
+    its own named child stream of the run's :class:`RngStreams` family
+    (``faults.migration``, ``faults.wake``, ``faults.pages``), and every
+    query short-circuits without drawing when its fault class is
+    disabled — a zero-fault run performs zero draws.
+    """
+
+    def __init__(self, profile: FaultProfile, streams: RngStreams) -> None:
+        self.profile = profile
+        self._migration_rng = streams.get("faults.migration")
+        self._wake_rng = streams.get("faults.wake")
+        self._page_rng = streams.get("faults.pages")
+
+    # -- migration aborts ------------------------------------------------
+
+    def migration_abort(self) -> Optional[float]:
+        """Progress fraction at which this migration aborts, or ``None``.
+
+        The fraction is how much of the transfer was already on the wire
+        (and must be charged) when the abort fired.
+        """
+        profile = self.profile
+        if profile.migration_abort_prob <= 0.0:
+            return None
+        if self._migration_rng.random() >= profile.migration_abort_prob:
+            return None
+        return self._migration_rng.uniform(
+            profile.abort_progress_min, profile.abort_progress_max
+        )
+
+    # -- host wake failures ----------------------------------------------
+
+    def wake_outcome(self) -> WakeOutcome:
+        """Resume-attempt outcome for one wake of a sleeping host.
+
+        Each attempt independently fails with ``wake_failure_prob``; after
+        the initial attempt plus ``wake_retry_cap`` retries have all
+        failed the wake gives up and the caller reroutes.
+        """
+        profile = self.profile
+        if profile.wake_failure_prob <= 0.0:
+            return CLEAN_WAKE
+        max_attempts = 1 + profile.wake_retry_cap
+        failed = 0
+        while failed < max_attempts:
+            if self._wake_rng.random() >= profile.wake_failure_prob:
+                return WakeOutcome(failed_attempts=failed, gave_up=False)
+            failed += 1
+        return WakeOutcome(failed_attempts=failed, gave_up=True)
+
+    # -- transient page-fetch timeouts -----------------------------------
+
+    def page_timeouts(self) -> int:
+        """Timed-out demand-fetch bursts in one consolidation episode.
+
+        Geometric with the per-episode probability, capped by the
+        profile so one unlucky episode cannot stall the day.
+        """
+        profile = self.profile
+        if profile.page_timeout_prob <= 0.0:
+            return 0
+        timeouts = 0
+        while (
+            timeouts < profile.page_timeout_retries_max
+            and self._page_rng.random() < profile.page_timeout_prob
+        ):
+            timeouts += 1
+        return timeouts
+
+    def __repr__(self) -> str:
+        return f"<FaultInjector profile={self.profile.name!r}>"

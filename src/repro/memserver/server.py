@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.energy.profile import MemoryServerProfile
-from repro.errors import ConfigError
+from repro.errors import ConfigError, PageFetchTimeout
 from repro.memserver.store import PageStore
 from repro.units import KIB_PER_MIB, PAGE_SIZE_KIB
 
@@ -95,7 +95,12 @@ class MemoryServer:
     service: PageServiceModel = field(default_factory=PageServiceModel)
     store: Optional[PageStore] = None
     serving: bool = False
+    #: Set by fault injection when the server crashes; requests then
+    #: raise :class:`PageFetchTimeout` until :meth:`repair` is called.
+    failed: bool = False
     requests_served: int = 0
+    #: Timed-out fetch attempts absorbed by :meth:`serve_page_with_retries`.
+    requests_timed_out: int = 0
 
     def start_serving(self) -> None:
         """Activate the daemon (host has detached the shared drive)."""
@@ -105,8 +110,21 @@ class MemoryServer:
         """Deactivate (host woke up and reclaimed the drive)."""
         self.serving = False
 
+    def fail(self) -> None:
+        """Crash the server (fault injection)."""
+        self.failed = True
+
+    def repair(self) -> None:
+        """Bring a crashed server back (host woke, operator swapped it)."""
+        self.failed = False
+
     def serve_page(self, vm_id: int, pfn: int) -> bytes:
         """Serve one compressed page from the real store (prototype path)."""
+        if self.failed:
+            raise PageFetchTimeout(
+                f"memory server {self.host_id} is down; page request for "
+                f"VM {vm_id} pfn {pfn} timed out"
+            )
         if not self.serving:
             raise ConfigError(
                 f"memory server {self.host_id} is not serving"
@@ -118,6 +136,29 @@ class MemoryServer:
         blob = self.store.fetch_compressed(vm_id, pfn)
         self.requests_served += 1
         return blob
+
+    def serve_page_with_retries(
+        self, vm_id: int, pfn: int, injector=None
+    ) -> bytes:
+        """Serve one page, absorbing injected transient timeouts.
+
+        ``injector`` is a :class:`repro.faults.FaultInjector` (or any
+        object with a ``page_timeouts()`` method); each injected timeout
+        models one lost request/response that the memtap client re-sends
+        after its timeout window.  A *failed* server still raises — only
+        transient losses are retried here.
+        """
+        timeouts = injector.page_timeouts() if injector is not None else 0
+        self.requests_timed_out += timeouts
+        return self.serve_page(vm_id, pfn)
+
+    def fetch_time_with_timeouts_s(
+        self, pages: int, timeouts: int, timeout_window_s: float = 1.0
+    ) -> float:
+        """Latency of a ``pages``-page burst that hit ``timeouts`` losses."""
+        if timeouts < 0:
+            raise ConfigError("timeout count must be non-negative")
+        return self.service.fetch_time_s(pages) + timeouts * timeout_window_s
 
     @property
     def power_w(self) -> float:

@@ -1,0 +1,116 @@
+"""Regenerate the golden end-to-end snapshots in ``farm_golden.json``.
+
+Run this ONLY when a change is *supposed* to shift simulation results
+(a new model, a recalibration, a bug fix whose effect is understood):
+
+    PYTHONPATH=src python tests/golden/update_goldens.py
+
+Then eyeball the diff of ``tests/golden/farm_golden.json`` — every
+changed number must be explainable by the change you are making — and
+commit the regenerated file together with the code change.  The golden
+test (``tests/test_farm_golden.py``) exists so that unrelated PRs cannot
+shift the Figure 8 headline metrics silently; bypassing it without
+reading the diff defeats its purpose.
+
+The snapshot pins, per policy, one seeded small-farm day:
+
+* the energy savings fraction (full float precision),
+* every migration/fault counter,
+* the traffic ledger (MiB per category, full float precision),
+* delay-sample count and zero-delay fraction,
+* the exact ``oasis-sim simulate`` stdout (byte-for-byte).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "farm_golden.json")
+
+#: One pinned seed per policy; distinct seeds exercise distinct traces.
+POLICY_SEEDS = {
+    "OnlyPartial": 11,
+    "Default": 12,
+    "FulltoPartial": 13,
+    "NewHome": 14,
+}
+
+#: Small but non-trivial farm: big enough that every policy migrates,
+#: small enough that the four runs finish in well under a second.
+FARM_SHAPE = dict(home_hosts=4, consolidation_hosts=2, vms_per_host=4)
+
+
+def snapshot_result(result) -> dict:
+    """Everything a Figure 8/10/11 reader consumes, JSON-serializable."""
+    import dataclasses
+
+    return {
+        "savings_fraction": result.savings_fraction,
+        "managed_joules": result.energy.managed_joules,
+        "baseline_joules": result.energy.baseline_joules,
+        "counters": dataclasses.asdict(result.counters),
+        "fault_counters": result.faults.as_dict(),
+        "traffic_mib": result.traffic.as_dict(),
+        "network_total_mib": result.traffic.network_total_mib(),
+        "delay_samples": len(result.delays),
+        "zero_delay_fraction": result.zero_delay_fraction(),
+        "mean_home_sleep_fraction": result.mean_home_sleep_fraction(),
+        "peak_active_vms": result.peak_active_vms,
+        "min_powered_hosts": result.min_powered_hosts,
+    }
+
+
+def simulate_stdout(policy_name: str, seed: int) -> str:
+    """The exact ``simulate`` subcommand stdout for one policy/seed."""
+    import contextlib
+    import io
+
+    from repro.cli import main
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        status = main([
+            "simulate",
+            "--policy", policy_name,
+            "--seed", str(seed),
+            "--home-hosts", str(FARM_SHAPE["home_hosts"]),
+            "--consolidation-hosts", str(FARM_SHAPE["consolidation_hosts"]),
+            "--vms-per-host", str(FARM_SHAPE["vms_per_host"]),
+        ])
+    assert status == 0
+    return buffer.getvalue()
+
+
+def build_goldens() -> dict:
+    from repro.core import policy_by_name
+    from repro.farm import FarmConfig, simulate_day
+    from repro.traces import DayType
+
+    config = FarmConfig(**FARM_SHAPE)
+    goldens = {"farm_shape": FARM_SHAPE, "policies": {}}
+    for policy_name, seed in POLICY_SEEDS.items():
+        result = simulate_day(
+            config, policy_by_name(policy_name), DayType.WEEKDAY, seed=seed
+        )
+        goldens["policies"][policy_name] = {
+            "seed": seed,
+            "result": snapshot_result(result),
+            "simulate_stdout": simulate_stdout(policy_name, seed),
+        }
+    return goldens
+
+
+def main() -> int:
+    goldens = build_goldens()
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(goldens, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+    print("Diff it, explain every changed number, commit it with your change.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

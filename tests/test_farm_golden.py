@@ -1,0 +1,62 @@
+"""Golden end-to-end regression: pinned seeds must reproduce exactly.
+
+``tests/golden/farm_golden.json`` snapshots one seeded small-farm day
+per policy — savings fraction, every migration and fault counter, the
+traffic ledger, and the byte-exact ``simulate`` stdout.  Any drift means
+a change altered simulation results; if that is intended, regenerate
+with ``tests/golden/update_goldens.py`` and explain the diff in review.
+"""
+
+import json
+import os
+
+import pytest
+
+from tests.golden.update_goldens import (
+    FARM_SHAPE,
+    GOLDEN_PATH,
+    POLICY_SEEDS,
+    simulate_stdout,
+    snapshot_result,
+)
+from repro.core import policy_by_name
+from repro.farm import FarmConfig, simulate_day
+from repro.traces import DayType
+
+
+@pytest.fixture(scope="module")
+def goldens() -> dict:
+    assert os.path.exists(GOLDEN_PATH), (
+        "missing tests/golden/farm_golden.json; run "
+        "PYTHONPATH=src python tests/golden/update_goldens.py"
+    )
+    with open(GOLDEN_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_golden_covers_every_policy(goldens):
+    assert set(goldens["policies"]) == set(POLICY_SEEDS)
+    assert goldens["farm_shape"] == FARM_SHAPE
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICY_SEEDS))
+def test_result_matches_golden(goldens, policy_name):
+    pinned = goldens["policies"][policy_name]
+    config = FarmConfig(**FARM_SHAPE)
+    result = simulate_day(
+        config,
+        policy_by_name(policy_name),
+        DayType.WEEKDAY,
+        seed=pinned["seed"],
+    )
+    snapshot = snapshot_result(result)
+    # Round-trip through JSON so float representation matches the file.
+    assert json.loads(json.dumps(snapshot)) == pinned["result"]
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICY_SEEDS))
+def test_cli_stdout_matches_golden(goldens, policy_name):
+    pinned = goldens["policies"][policy_name]
+    assert simulate_stdout(policy_name, pinned["seed"]) == (
+        pinned["simulate_stdout"]
+    )

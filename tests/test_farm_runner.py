@@ -12,8 +12,10 @@ from repro.farm import (
     SweepRunner,
     consolidation_host_sweep,
     execute_run,
+    fault_rate_sweep,
     simulate_day,
 )
+from repro.faults import fault_profile_by_name
 from repro.farm.runner import (
     clear_ensemble_cache,
     ensemble_cache_stats,
@@ -44,6 +46,7 @@ def result_fingerprint(result):
     return (
         result.savings_fraction,
         result.counters,
+        result.faults,
         result.delays,
         result.active_vms,
         result.powered_hosts,
@@ -144,6 +147,41 @@ class TestBackendDeterminism:
         outcomes = SweepRunner(backend="process", workers=2).run(specs)
         assert [o.spec for o in outcomes] == specs
         assert [o.result.seed for o in outcomes] == [s.seed for s in specs]
+
+    def test_process_backend_matches_serial_under_faults(self):
+        """Fault draws live in per-run streams: workers change nothing."""
+        specs = []
+        for name in ("light", "heavy"):
+            config = small_config(faults=fault_profile_by_name(name))
+            for seed in (0, 1):
+                specs.append(
+                    RunSpec(config, FULL_TO_PARTIAL, DayType.WEEKDAY, seed)
+                )
+        serial = SweepRunner().run(specs)
+        assert any(
+            o.result.faults.total_events > 0 for o in serial
+        ), "fault profiles injected nothing; differential test is vacuous"
+        parallel = SweepRunner(backend="process", workers=2).run(specs)
+        for serial_outcome, parallel_outcome in zip(serial, parallel):
+            assert result_fingerprint(
+                serial_outcome.result
+            ) == result_fingerprint(parallel_outcome.result)
+            assert serial_outcome.result.faults == (
+                parallel_outcome.result.faults
+            )
+
+    def test_fault_rate_sweep_backend_equivalence(self):
+        sweep_args = (small_config(), FULL_TO_PARTIAL, DayType.WEEKDAY)
+        kwargs = dict(scale_factors=(0.0, 2.0), runs=2)
+        serial = fault_rate_sweep(*sweep_args, **kwargs)
+        parallel = fault_rate_sweep(
+            *sweep_args, **kwargs,
+            runner=SweepRunner(backend="process", workers=2),
+        )
+        assert [row[:2] for row in serial] == [row[:2] for row in parallel]
+        zero_chunk, scaled_chunk = serial[0][2], serial[1][2]
+        assert all(r.faults.total_events == 0 for r in zero_chunk)
+        assert any(r.faults.total_events > 0 for r in scaled_chunk)
 
     def test_consolidation_host_sweep_backend_equivalence(self):
         sweep_args = (
