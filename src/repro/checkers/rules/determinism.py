@@ -27,6 +27,7 @@ SIMULATION_PACKAGES = (
     "repro.migration",
     "repro.pagesim",
     "repro.faults",
+    "repro.obs",
 )
 
 #: Attributes of the ``random`` module DET101 leaves to other rules:

@@ -8,7 +8,10 @@ Subcommands:
   ``--workers`` fanning the runs out over processes;
 * ``micro``    — print a micro-benchmark table (table1, fig1, fig2,
   fig5, fig6, traffic);
-* ``traces``   — generate or summarize trace CSV files.
+* ``traces``   — generate or summarize trace CSV files;
+* ``trace``    — summarize or validate an event trace recorded with
+  ``simulate --trace`` (JSONL, or Chrome ``trace_event`` JSON that
+  Perfetto / ``chrome://tracing`` can open).
 
 The full evaluation sweeps live in ``benchmarks/`` (one per paper table
 or figure); the CLI covers interactive exploration and smoke-testing
@@ -55,6 +58,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         faults=fault_profile_by_name(args.fault_profile),
     )
     policy = policy_by_name(args.policy)
+    tracer = None
+    if args.trace:
+        if args.week or args.runs > 1:
+            print("--trace records a single day: drop --week and --runs",
+                  file=sys.stderr)
+            return 2
+        from repro.obs import RecordingTracer
+
+        tracer = RecordingTracer()
     if args.week:
         from repro.farm import simulate_week
 
@@ -73,7 +85,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return 0
     if args.runs > 1:
         return _simulate_repetitions(config, policy, args)
-    result = simulate_day(config, policy, _day_type(args.day), seed=args.seed)
+    result = simulate_day(
+        config, policy, _day_type(args.day), seed=args.seed, tracer=tracer
+    )
     print(f"policy:           {result.policy_name} ({result.day_type})")
     print(f"energy savings:   {format_percent(result.savings_fraction)}")
     print(f"baseline:         {result.energy.baseline_wh:.0f} Wh")
@@ -109,6 +123,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             [float(count) for count in result.powered_hosts], width=72
         ))
         print("              00:00" + " " * 28 + "12:00" + " " * 29 + "24:00")
+    if tracer is not None:
+        from repro.obs import write_chrome_trace, write_jsonl
+
+        if args.trace_format == "chrome":
+            count = write_chrome_trace(tracer.events, args.trace)
+        else:
+            count = write_jsonl(tracer.events, args.trace)
+        print(f"trace:            {count} events -> {args.trace} "
+              f"({args.trace_format})")
     return 0
 
 
@@ -292,6 +315,33 @@ def _cmd_traces(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import TraceFormatError
+    from repro.obs import read_jsonl, timeline_summary, validate_chrome_trace
+
+    try:
+        if args.action == "summarize":
+            report = timeline_summary(read_jsonl(args.file))
+        elif args.file.endswith(".jsonl"):
+            events = read_jsonl(args.file)
+            report = f"OK: {len(events)} JSONL trace events in {args.file}"
+        else:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            count = validate_chrome_trace(document)
+            report = f"OK: {count} Chrome trace events in {args.file}"
+    except (TraceFormatError, json.JSONDecodeError, OSError) as error:
+        print(f"invalid trace: {error}", file=sys.stderr)
+        return 1
+    try:
+        print(report)
+    except BrokenPipeError:
+        pass  # downstream pager closed early (e.g. `| head`)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="oasis-sim",
@@ -331,6 +381,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-profile", default="none", choices=list(FAULT_PROFILE_NAMES),
         help="inject failures (migration aborts, failed wakes, memory-server "
              "crashes, page timeouts) at the named rates",
+    )
+    simulate.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a structured event trace of the day to PATH",
+    )
+    simulate.add_argument(
+        "--trace-format", default="jsonl", choices=["jsonl", "chrome"],
+        help="trace file format: line-delimited JSON records, or Chrome "
+             "trace_event JSON for Perfetto / chrome://tracing",
     )
     simulate.set_defaults(handler=_cmd_simulate)
 
@@ -379,6 +438,22 @@ def build_parser() -> argparse.ArgumentParser:
     stats = traces_sub.add_parser("stats")
     stats.add_argument("--file", required=True)
     stats.set_defaults(handler=_cmd_traces)
+
+    trace = sub.add_parser(
+        "trace", help="summarize or validate a recorded event trace"
+    )
+    trace_sub = trace.add_subparsers(dest="action", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize", help="print a text timeline summary of a JSONL trace"
+    )
+    summarize.add_argument("file")
+    summarize.set_defaults(handler=_cmd_trace)
+    validate = trace_sub.add_parser(
+        "validate",
+        help="check a trace file (JSONL, or Chrome trace_event JSON)",
+    )
+    validate.add_argument("file")
+    validate.set_defaults(handler=_cmd_trace)
 
     return parser
 

@@ -22,6 +22,8 @@ from repro.core.plan import (
 )
 from repro.core.policies import PolicySpec
 from repro.errors import MigrationError
+from repro.obs.events import CAT_POLICY
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.vm.machine import VirtualMachine
 from repro.vm.state import Residency
 from repro.vm.workingset import WorkingSetSampler
@@ -38,9 +40,11 @@ class ClusterManager:
         rng: Optional[random.Random] = None,
         min_idle_intervals: int = 1,
         strategy: DestinationStrategy = DestinationStrategy.RANDOM,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.cluster = cluster
         self.policy = policy
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.working_sets = (
             working_sets if working_sets is not None else WorkingSetSampler()
         )
@@ -64,9 +68,16 @@ class ClusterManager:
         Returns an empty plan when no host can be powered down — the
         manager only migrates when doing so can save energy.
         """
-        return self.planner.plan(
+        plan = self.planner.plan(
             self.cluster, compact_consolidation=compact_consolidation
         )
+        if self.tracer.enabled and not plan.is_empty:
+            self.tracer.event(
+                "policy.consolidation_plan", CAT_POLICY,
+                vacations=len(plan.vacations),
+                compactions=len(plan.compactions),
+            )
+        return plan
 
     def plan_exchanges(self) -> List[ExchangePlan]:
         """Find FulltoPartial exchanges: consolidated full VMs that have
@@ -96,6 +107,10 @@ class ClusterManager:
                         working_set_mib=working_set,
                     )
                 )
+        if self.tracer.enabled and exchanges:
+            self.tracer.event(
+                "policy.exchange_plan", CAT_POLICY, exchanges=len(exchanges)
+            )
         return exchanges
 
     # -- activation handling ------------------------------------------------
@@ -111,9 +126,9 @@ class ClusterManager:
         replicas pure overhead.
         """
         if vm.residency is Residency.FULL:
-            return ActivationDecision(
+            return self._traced(ActivationDecision(
                 vm.vm_id, ActivationAction.ALREADY_FULL, vm.host_id
-            )
+            ))
 
         host = self.cluster.host(vm.host_id)
         if vm.working_set_mib is None:
@@ -121,20 +136,31 @@ class ClusterManager:
         remaining_mib = vm.memory_mib - vm.working_set_mib
 
         if self.policy.convert_in_place and host.can_fit(remaining_mib):
-            return ActivationDecision(
+            return self._traced(ActivationDecision(
                 vm.vm_id, ActivationAction.CONVERT_IN_PLACE, host.host_id
-            )
+            ))
 
         if self.policy.rehome_on_exhaustion:
             destination = self._find_new_home(vm)
             if destination is not None:
-                return ActivationDecision(
+                return self._traced(ActivationDecision(
                     vm.vm_id, ActivationAction.MIGRATE_NEW_HOME, destination
-                )
+                ))
 
-        return ActivationDecision(
+        return self._traced(ActivationDecision(
             vm.vm_id, ActivationAction.WAKE_HOME_RETURN_ALL, vm.home_id
-        )
+        ))
+
+    def _traced(self, decision: ActivationDecision) -> ActivationDecision:
+        """Emit the decision as a policy event (observation only)."""
+        if self.tracer.enabled:
+            self.tracer.event(
+                "policy.activation", CAT_POLICY,
+                vm=decision.vm_id,
+                action=decision.action.value,
+                target=decision.target_host_id,
+            )
+        return decision
 
     def reroute_activation(self, vm: VirtualMachine) -> Optional[int]:
         """A fallback destination when the VM's home host will not wake.

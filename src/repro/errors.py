@@ -46,3 +46,8 @@ class FaultInjectionError(ReproError):
 
 class PageFetchTimeout(ReproError):
     """A demand page fetch from a memory server timed out (injected)."""
+
+
+class ObservabilityError(ReproError):
+    """The tracing/metrics layer was misused (corrupt span stack,
+    non-serializable event payload, malformed trace record)."""

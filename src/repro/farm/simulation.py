@@ -50,11 +50,18 @@ from repro.faults import CLEAN_WAKE, FaultInjector, FaultPlan, backoff_delays_s
 from repro.farm.metrics import DelaySample, FarmResult
 from repro.migration.scheduler import HostBusyScheduler
 from repro.migration.traffic import TrafficCategory
+from repro.obs.events import CAT_FARM, CAT_FAULT, CAT_MIGRATION, CAT_POWER
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulator.engine import Simulator
 from repro.simulator.randomness import RngStreams
 from repro.traces.model import DayType
 from repro.traces.sampler import TraceEnsemble, generate_ensemble
-from repro.units import SECONDS_PER_DAY, TRACE_INTERVAL_SECONDS
+from repro.units import (
+    KIB_PER_MIB,
+    PAGE_SIZE_KIB,
+    SECONDS_PER_DAY,
+    TRACE_INTERVAL_SECONDS,
+)
 from repro.vm.machine import VirtualMachine
 from repro.vm.state import Residency, VmActivity
 
@@ -74,6 +81,7 @@ class FarmSimulation:
         policy: PolicySpec,
         ensemble: TraceEnsemble,
         seed: int = 0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if len(ensemble) != config.total_vms:
             raise ConfigError(
@@ -86,7 +94,15 @@ class FarmSimulation:
         self.seed = seed
         self.streams = RngStreams(seed)
 
-        self.sim = Simulator()
+        # Tracing is pure observation: the tracer has no RNG access and
+        # every emission is gated on ``tracer.enabled``, so a null tracer
+        # leaves RNG streams and results byte-identical (differential-
+        # tested).  It lives outside FarmConfig so configs stay picklable.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.sim = Simulator(tracer=self.tracer)
+        # Clock-less components (manager, injector, memory servers) stamp
+        # their events through the tracer's clock, bound to simulated time.
+        self.tracer.set_clock(lambda: self.sim.now)
         self.scheduler = HostBusyScheduler()
         self.accountant = EnergyAccountant()
         self.tracker = StateTimeTracker()
@@ -101,6 +117,14 @@ class FarmSimulation:
         for host in self.cluster.consolidation_hosts:
             host.power_state = PowerState.SLEEPING
 
+        #: Last power-state value seen per host (tracing only); baseline
+        #: includes the consolidation hosts' default SLEEPING state.
+        self._power_state_seen: Dict[int, str] = {
+            host.host_id: host.power_state.value for host in self.cluster
+        }
+        #: Sleep-entry times for the sleep-duration histogram (tracing only).
+        self._sleep_since: Dict[int, float] = {}
+
         self.manager = ClusterManager(
             cluster=self.cluster,
             policy=policy,
@@ -108,6 +132,7 @@ class FarmSimulation:
             rng=self.streams.get("manager"),
             min_idle_intervals=config.min_idle_intervals,
             strategy=config.placement_strategy,
+            tracer=self.tracer,
         )
 
         self.vms: Dict[int, VirtualMachine] = {}
@@ -132,7 +157,9 @@ class FarmSimulation:
         # null profile neither ever draws, so fault-free runs reproduce
         # historical output byte-for-byte.
         self.fault_profile = config.faults
-        self._injector = FaultInjector(self.fault_profile, self.streams)
+        self._injector = FaultInjector(
+            self.fault_profile, self.streams, self.tracer
+        )
         self.fault_plan = FaultPlan.build(
             self.fault_profile,
             [host.host_id for host in self.cluster.home_hosts],
@@ -165,7 +192,30 @@ class FarmSimulation:
         """Execute the full day and return the collected metrics."""
         if self._finished:
             raise SimulationError("this simulation has already run")
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "farm.day", CAT_FARM,
+                policy=self.policy.name,
+                day_type=self.ensemble.day_type.value,
+                seed=self.seed,
+            ):
+                self._run_day()
+        else:
+            self._run_day()
+        return self.result
+
+    def _run_day(self) -> None:
         now = self.sim.now
+        if self.tracer.enabled:
+            for host in self.cluster:
+                self.tracer.event(
+                    "power.init", CAT_POWER,
+                    host=host.host_id,
+                    state=host.power_state.value,
+                    role=host.role.value,
+                )
+                if host.power_state is PowerState.SLEEPING:
+                    self._sleep_since[host.host_id] = now
         for host in self.cluster:
             self._refresh_power(host)
             self.tracker.set_state(host.host_id, host.power_state.value, now)
@@ -188,7 +238,6 @@ class FarmSimulation:
             )
         self.sim.run_until(SECONDS_PER_DAY)
         self._finalize()
-        return self.result
 
     # ------------------------------------------------------------------
     # interval processing
@@ -203,17 +252,27 @@ class FarmSimulation:
         if self.config.working_set_growth_mib_per_h > 0.0:
             self._grow_working_sets(now)
         if index % self._planning_every == 0:
-            for exchange in self.manager.plan_exchanges():
-                self._execute_exchange(exchange, now)
-            plan = self.manager.plan_consolidation(
-                compact_consolidation=self.config.compact_consolidation_hosts
-            )
-            self._execute_consolidation(plan, now)
+            if self.tracer.enabled:
+                with self.tracer.span(
+                    "farm.planning", CAT_FARM, interval=index
+                ):
+                    self._run_planning(now)
+            else:
+                self._run_planning(now)
         for host in self.cluster:
             if host.is_powered:
                 self._refresh_power(host)
                 if host.vm_count == 0:
                     self._consider_suspend(host)
+
+    def _run_planning(self, now: float) -> None:
+        """One periodic planning pass: exchanges, then consolidation."""
+        for exchange in self.manager.plan_exchanges():
+            self._execute_exchange(exchange, now)
+        plan = self.manager.plan_consolidation(
+            compact_consolidation=self.config.compact_consolidation_hosts
+        )
+        self._execute_consolidation(plan, now)
 
     def _update_activities(self, index: int, now: float) -> None:
         jitter_max = self.config.activation_jitter_s
@@ -335,6 +394,11 @@ class FarmSimulation:
         for host in self.cluster.consolidation_hosts:
             if host.is_powered and host.vm_count > 0:
                 result.consolidation_ratio_samples.append(host.vm_count)
+        if self.tracer.enabled:
+            self.tracer.gauge("active_vms", float(active))
+            self.tracer.gauge(
+                "powered_hosts", float(result.powered_hosts[-1])
+            )
 
     # ------------------------------------------------------------------
     # activation handling
@@ -383,6 +447,7 @@ class FarmSimulation:
                 TrafficCategory.CONVERSION_PULL, pull_mib, fraction,
             )
             self.faults.migration_retries += 1
+            self._trace_fault("fault.migration_retry", vm=vm.vm_id)
             return self._handle_wake_home_return_all(
                 vm, now, fault_exempt=True
             )
@@ -392,13 +457,17 @@ class FarmSimulation:
         # NIC while the VM keeps executing on its resident working set,
         # so the transfer occupies the NIC without stalling the user;
         # what the user perceives is the resume handshake (§5.5).
-        _start, end = self.scheduler.reserve(
+        start, end = self.scheduler.reserve(
             [("nic", host.host_id)],
             now,
             self.config.costs.inplace_conversion_s,
             not_before=self._settles_at.get(vm.vm_id, 0.0),
         )
         self.result.traffic.add(TrafficCategory.CONVERSION_PULL, pull_mib)
+        self._trace_migration(
+            "convert_in_place", vm.vm_id, vm.home_id, host.host_id,
+            pull_mib, start, end,
+        )
         self._close_episode(vm.vm_id)
         self._settles_at[vm.vm_id] = end
         self.result.counters.conversions_in_place += 1
@@ -426,6 +495,7 @@ class FarmSimulation:
                 TrafficCategory.FULL_MIGRATION, vm.memory_mib, fraction,
             )
             self.faults.migration_retries += 1
+            self._trace_fault("fault.migration_retry", vm=vm.vm_id)
             return self._handle_wake_home_return_all(
                 vm, now, fault_exempt=True
             )
@@ -433,7 +503,7 @@ class FarmSimulation:
         vm.become_full_at(destination_id)
         destination.attach(vm)
         old_home.remove_served_image(vm.vm_id)
-        _start, end = self.scheduler.reserve(
+        start, end = self.scheduler.reserve(
             [("nic", source.host_id)],
             now,
             self.config.costs.full_migration_s,
@@ -441,6 +511,10 @@ class FarmSimulation:
             not_before=self._settles_at.get(vm.vm_id, 0.0),
         )
         self.result.traffic.add(TrafficCategory.FULL_MIGRATION, vm.memory_mib)
+        self._trace_migration(
+            "rehome", vm.vm_id, source.host_id, destination_id,
+            vm.memory_mib, start, end,
+        )
         self._close_episode(vm.vm_id)
         self._settles_at[vm.vm_id] = end
         self.result.counters.rehomings += 1
@@ -502,11 +576,12 @@ class FarmSimulation:
                     # reintegration immediately (it queues behind the
                     # aborted attempt via the settle mark).
                     self.faults.migration_retries += 1
+                    self._trace_fault("fault.migration_retry", vm=vm_id)
             source = self.cluster.host(vm.host_id)
             # Reintegrations queue on the woken home's NIC: a resume
             # storm of many VMs returning to one host is what produces
             # the Figure 11 tail.
-            _start, end = self.scheduler.reserve(
+            start, end = self.scheduler.reserve(
                 [("nic", home.host_id)],
                 now,
                 self.config.costs.reintegration_s,
@@ -517,9 +592,15 @@ class FarmSimulation:
             vm.reintegrate()
             home.attach(vm)
             home.remove_served_image(vm_id)
+            reintegration_mib = self.config.costs.sample_reintegration_mib(
+                self._traffic_rng
+            )
             self.result.traffic.add(
-                TrafficCategory.REINTEGRATION,
-                self.config.costs.sample_reintegration_mib(self._traffic_rng),
+                TrafficCategory.REINTEGRATION, reintegration_mib
+            )
+            self._trace_migration(
+                "reintegration", vm_id, source.host_id, home.host_id,
+                reintegration_mib, start, end,
             )
             self._close_episode(vm_id)
             self._settles_at[vm_id] = end
@@ -548,6 +629,9 @@ class FarmSimulation:
         always terminates).
         """
         self.faults.wake_reroutes += 1
+        self._trace_fault(
+            "fault.wake_reroute", vm=trigger.vm_id, home=trigger.home_id
+        )
         host = self.cluster.host(trigger.host_id)
         remaining = trigger.memory_mib - (trigger.working_set_mib or 0.0)
         if host.can_fit(remaining):
@@ -587,7 +671,7 @@ class FarmSimulation:
                         fraction,
                     )
                     continue
-            _start, end = self.scheduler.reserve(
+            start, end = self.scheduler.reserve(
                 [("nic", source.host_id)],
                 now,
                 self.config.costs.full_migration_s,
@@ -599,6 +683,10 @@ class FarmSimulation:
             home.attach(vm)
             self.result.traffic.add(
                 TrafficCategory.FULL_MIGRATION, vm.memory_mib
+            )
+            self._trace_migration(
+                "return_home", vm.vm_id, source.host_id, home.host_id,
+                vm.memory_mib, start, end,
             )
             self._settles_at[vm.vm_id] = end
             self.result.counters.full_migrations += 1
@@ -636,7 +724,7 @@ class FarmSimulation:
 
         # Leg 1: full migration back to the origin home (serialized on
         # the sending consolidation host's NIC).
-        _start, end_full = self.scheduler.reserve(
+        start_full, end_full = self.scheduler.reserve(
             [("nic", consolidation.host_id)],
             now,
             self.config.costs.full_migration_s,
@@ -649,6 +737,10 @@ class FarmSimulation:
         vm.full_migrate(home.host_id)
         home.attach(vm)
         self.result.traffic.add(TrafficCategory.FULL_MIGRATION, vm.memory_mib)
+        self._trace_migration(
+            "exchange_full", vm.vm_id, consolidation.host_id, home.host_id,
+            vm.memory_mib, start_full, end_full,
+        )
         self.result.counters.full_migrations += 1
         self._settles_at[vm.vm_id] = end_full
 
@@ -673,7 +765,7 @@ class FarmSimulation:
                 return
             # Leg 2: immediately re-consolidate as a partial VM so the
             # home can go back to sleep.
-            _start, end_partial = self.scheduler.reserve(
+            start_partial, end_partial = self.scheduler.reserve(
                 [("sas", home.host_id)],
                 now,
                 self.config.costs.partial_migration_s,
@@ -684,7 +776,12 @@ class FarmSimulation:
             vm.become_partial(consolidation.host_id, plan.working_set_mib)
             consolidation.attach(vm)
             home.add_served_image(vm.vm_id)
-            self._record_partial_traffic()
+            partial_mib = self._record_partial_traffic()
+            self._trace_migration(
+                "exchange_partial", vm.vm_id, home.host_id,
+                consolidation.host_id, partial_mib,
+                start_partial, end_partial,
+            )
             self._episode_open.add(vm.vm_id)
             self._settles_at[vm.vm_id] = end_partial
             self.result.counters.partial_migrations += 1
@@ -734,7 +831,7 @@ class FarmSimulation:
                     )
                 continue
             if migration.mode is MigrationMode.PARTIAL:
-                _start, end = self.scheduler.reserve(
+                start, end = self.scheduler.reserve(
                     [("nic", source.host_id)],
                     now,
                     costs.partial_relocation_s,
@@ -746,14 +843,20 @@ class FarmSimulation:
                 destination.attach(vm)
                 # Only the descriptor and resident pages cross the wire;
                 # the memory image stays at the home's memory server.
-                self.result.traffic.add(
-                    TrafficCategory.PARTIAL_DESCRIPTOR,
+                relocation_mib = (
                     costs.sample_descriptor_mib(self._traffic_rng)
-                    + (vm.working_set_mib or 0.0),
+                    + (vm.working_set_mib or 0.0)
+                )
+                self.result.traffic.add(
+                    TrafficCategory.PARTIAL_DESCRIPTOR, relocation_mib
+                )
+                self._trace_migration(
+                    "relocate_partial", vm.vm_id, source.host_id,
+                    destination.host_id, relocation_mib, start, end,
                 )
                 self.result.counters.partial_relocations += 1
             else:
-                _start, end = self.scheduler.reserve(
+                start, end = self.scheduler.reserve(
                     [("nic", source.host_id)],
                     now,
                     costs.full_migration_s,
@@ -765,6 +868,10 @@ class FarmSimulation:
                 destination.attach(vm)
                 self.result.traffic.add(
                     TrafficCategory.FULL_MIGRATION, vm.memory_mib
+                )
+                self._trace_migration(
+                    "compact_full", vm.vm_id, source.host_id,
+                    destination.host_id, vm.memory_mib, start, end,
                 )
                 self.result.counters.full_migrations += 1
             self._settles_at[vm.vm_id] = end
@@ -810,7 +917,7 @@ class FarmSimulation:
             if migration.mode is MigrationMode.PARTIAL:
                 # The SAS upload serializes on the source; the small
                 # descriptor push does not tie up the destination.
-                _start, end = self.scheduler.reserve(
+                start, end = self.scheduler.reserve(
                     [("sas", source.host_id)],
                     now,
                     self.config.costs.partial_migration_s,
@@ -822,11 +929,15 @@ class FarmSimulation:
                 )
                 destination.attach(vm)
                 source.add_served_image(vm.vm_id)
-                self._record_partial_traffic()
+                partial_mib = self._record_partial_traffic()
+                self._trace_migration(
+                    "vacate_partial", vm.vm_id, source.host_id,
+                    destination.host_id, partial_mib, start, end,
+                )
                 self._episode_open.add(vm.vm_id)
                 self.result.counters.partial_migrations += 1
             else:
-                _start, end = self.scheduler.reserve(
+                start, end = self.scheduler.reserve(
                     [("nic", source.host_id)],
                     now,
                     self.config.costs.full_migration_s,
@@ -838,22 +949,28 @@ class FarmSimulation:
                 self.result.traffic.add(
                     TrafficCategory.FULL_MIGRATION, vm.memory_mib
                 )
+                self._trace_migration(
+                    "vacate_full", vm.vm_id, source.host_id,
+                    destination.host_id, vm.memory_mib, start, end,
+                )
                 self.result.counters.full_migrations += 1
             self._settles_at[vm.vm_id] = max(end, dest_ready)
             self._refresh_power(destination)
         self._refresh_power(source)
         self._consider_suspend(source)
 
-    def _record_partial_traffic(self) -> None:
+    def _record_partial_traffic(self) -> float:
+        """Charge one partial migration's traffic; returns its total MiB."""
         costs = self.config.costs
+        descriptor_mib = costs.sample_descriptor_mib(self._traffic_rng)
+        upload_mib = costs.sample_sas_upload_mib(self._traffic_rng)
         self.result.traffic.add(
-            TrafficCategory.PARTIAL_DESCRIPTOR,
-            costs.sample_descriptor_mib(self._traffic_rng),
+            TrafficCategory.PARTIAL_DESCRIPTOR, descriptor_mib
         )
         self.result.traffic.add(
-            TrafficCategory.MEMORY_UPLOAD_SAS,
-            costs.sample_sas_upload_mib(self._traffic_rng),
+            TrafficCategory.MEMORY_UPLOAD_SAS, upload_mib
         )
+        return descriptor_mib + upload_mib
 
     def _close_episode(self, vm_id: int) -> None:
         """End one consolidation episode: charge its demand-fault traffic.
@@ -864,10 +981,16 @@ class FarmSimulation:
         """
         if vm_id in self._episode_open:
             self._episode_open.discard(vm_id)
-            self.result.traffic.add(
-                TrafficCategory.ON_DEMAND_PAGES,
-                self.config.costs.sample_on_demand_mib(self._traffic_rng),
+            demand_mib = self.config.costs.sample_on_demand_mib(
+                self._traffic_rng
             )
+            self.result.traffic.add(
+                TrafficCategory.ON_DEMAND_PAGES, demand_mib
+            )
+            if self.tracer.enabled:
+                self.tracer.observe(
+                    "pages_fetched", demand_mib * KIB_PER_MIB / PAGE_SIZE_KIB
+                )
             timeouts = self._injector.page_timeouts()
             if timeouts:
                 retry_mib = timeouts * self.fault_profile.page_retry_mib
@@ -876,6 +999,10 @@ class FarmSimulation:
                 )
                 self.faults.page_fetch_timeouts += timeouts
                 self.faults.page_retry_traffic_mib += retry_mib
+                self._trace_fault(
+                    "fault.page_retry", vm=vm_id,
+                    timeouts=timeouts, retry_mib=retry_mib,
+                )
 
     def _charge_aborted_attempt(
         self,
@@ -906,8 +1033,41 @@ class FarmSimulation:
         self.result.traffic.add(category, mib)
         self.faults.migration_aborts += 1
         self.faults.aborted_traffic_mib += mib
+        self._trace_fault(
+            "fault.migration_rollback", vm=vm_id, mib=mib, fraction=fraction
+        )
         self._settles_at[vm_id] = end
         return end
+
+    # ------------------------------------------------------------------
+    # tracing helpers (observation only — never consulted for behaviour)
+    # ------------------------------------------------------------------
+
+    def _trace_migration(
+        self,
+        kind: str,
+        vm_id: int,
+        source_id: int,
+        destination_id: int,
+        mib: float,
+        start_s: float,
+        end_s: float,
+    ) -> None:
+        """Record one committed migration with its bytes and wire window."""
+        if not self.tracer.enabled:
+            return
+        self.tracer.event(
+            "migration." + kind, CAT_MIGRATION,
+            vm=vm_id, source=source_id, destination=destination_id,
+            mib=mib, start_s=start_s, end_s=end_s,
+        )
+        self.tracer.observe("migration_latency_s", max(0.0, end_s - start_s))
+        self.tracer.counter("migration_mib", mib)
+
+    def _trace_fault(self, name: str, **args) -> None:
+        """Record one fault-handling step (counter increments mirror these)."""
+        if self.tracer.enabled:
+            self.tracer.event(name, CAT_FAULT, **args)
 
     def _host_release_after(self, host_id: int) -> float:
         """When the host's last in-flight transfer (on either its NIC or
@@ -1078,6 +1238,7 @@ class FarmSimulation:
         if not host.memory_server_enabled:
             return
         self.faults.memserver_crashes += 1
+        self._trace_fault("fault.memserver_crash", host=host_id)
         if host.power_state in (PowerState.POWERED, PowerState.RESUMING):
             # The host is up (or waking): the dead server is detected
             # and swapped before it ever matters.
@@ -1092,8 +1253,10 @@ class FarmSimulation:
         self._handle_wake_home_return_all(
             trigger, self.sim.now, fault_exempt=True
         )
-        self.faults.crash_forced_reintegrations += (
-            self.result.counters.reintegrations - before
+        rescued = self.result.counters.reintegrations - before
+        self.faults.crash_forced_reintegrations += rescued
+        self._trace_fault(
+            "fault.crash_forced_wakeup", host=host_id, reintegrations=rescued
         )
 
     def _count_wakeup(self, host: Host) -> None:
@@ -1163,7 +1326,35 @@ class FarmSimulation:
         self.tracker.set_state(
             host.host_id, host.power_state.value, self.sim.now
         )
+        if self.tracer.enabled:
+            self._trace_power_transition(host)
         self._refresh_power(host)
+
+    def _trace_power_transition(self, host: Host) -> None:
+        """Emit the host's power-state edge and sleep-duration samples.
+
+        Every edge passes through :meth:`_note_power_state`, so the
+        per-host event sequence replays legally through the power-state
+        machine's transition table (property-tested).
+        """
+        host_id = host.host_id
+        state = host.power_state.value
+        previous = self._power_state_seen.get(host_id, state)
+        if state == previous:
+            return
+        self._power_state_seen[host_id] = state
+        now = self.sim.now
+        self.tracer.event(
+            "power.transition", CAT_POWER,
+            host=host_id, role=host.role.value,
+            **{"from": previous, "to": state},
+        )
+        if state == PowerState.SLEEPING.value:
+            self._sleep_since[host_id] = now
+        elif previous == PowerState.SLEEPING.value:
+            since = self._sleep_since.pop(host_id, None)
+            if since is not None:
+                self.tracer.observe("host_sleep_duration_s", now - since)
 
     # ------------------------------------------------------------------
     # energy
@@ -1220,6 +1411,14 @@ class FarmSimulation:
             self.result.home_sleep_s[host.host_id] = self.tracker.duration(
                 host.host_id, _SLEEP_STATE
             )
+        if self.tracer.enabled:
+            # Close out sleep intervals still open at the horizon.
+            for host_id in sorted(self._sleep_since):
+                self.tracer.observe(
+                    "host_sleep_duration_s",
+                    horizon - self._sleep_since[host_id],
+                )
+            self._sleep_since.clear()
         self._finished = True
 
 
@@ -1229,6 +1428,7 @@ def simulate_day(
     day_type: DayType,
     seed: int = 0,
     ensemble: Optional[TraceEnsemble] = None,
+    tracer: Optional[Tracer] = None,
 ) -> FarmResult:
     """Convenience wrapper: generate traces (unless given) and run a day."""
     if ensemble is None:
@@ -1238,4 +1438,6 @@ def simulate_day(
             seed=RngStreams(seed).get("traces").randrange(2**31),
             config=config.traces,
         )
-    return FarmSimulation(config, policy, ensemble, seed=seed).run()
+    return FarmSimulation(
+        config, policy, ensemble, seed=seed, tracer=tracer
+    ).run()

@@ -25,6 +25,8 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.errors import FaultInjectionError
 from repro.faults.model import CLEAN_WAKE, WakeOutcome
 from repro.faults.profile import FaultProfile
+from repro.obs.events import CAT_FAULT
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulator.randomness import RngStreams
 
 __all__ = [
@@ -99,11 +101,19 @@ class FaultInjector:
     disabled — a zero-fault run performs zero draws.
     """
 
-    def __init__(self, profile: FaultProfile, streams: RngStreams) -> None:
+    def __init__(
+        self,
+        profile: FaultProfile,
+        streams: RngStreams,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.profile = profile
         self._migration_rng = streams.get("faults.migration")
         self._wake_rng = streams.get("faults.wake")
         self._page_rng = streams.get("faults.pages")
+        #: Injection events go here; the tracer observes draws, it never
+        #: influences them (it has no RNG access at all).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- migration aborts ------------------------------------------------
 
@@ -118,9 +128,14 @@ class FaultInjector:
             return None
         if self._migration_rng.random() >= profile.migration_abort_prob:
             return None
-        return self._migration_rng.uniform(
+        fraction = self._migration_rng.uniform(
             profile.abort_progress_min, profile.abort_progress_max
         )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "fault.migration_abort", CAT_FAULT, fraction=fraction
+            )
+        return fraction
 
     # -- host wake failures ----------------------------------------------
 
@@ -136,11 +151,21 @@ class FaultInjector:
             return CLEAN_WAKE
         max_attempts = 1 + profile.wake_retry_cap
         failed = 0
+        outcome: Optional[WakeOutcome] = None
         while failed < max_attempts:
             if self._wake_rng.random() >= profile.wake_failure_prob:
-                return WakeOutcome(failed_attempts=failed, gave_up=False)
+                outcome = WakeOutcome(failed_attempts=failed, gave_up=False)
+                break
             failed += 1
-        return WakeOutcome(failed_attempts=failed, gave_up=True)
+        if outcome is None:
+            outcome = WakeOutcome(failed_attempts=failed, gave_up=True)
+        if self.tracer.enabled and not outcome.is_clean:
+            self.tracer.event(
+                "fault.wake_failure", CAT_FAULT,
+                failed_attempts=outcome.failed_attempts,
+                gave_up=outcome.gave_up,
+            )
+        return outcome
 
     # -- transient page-fetch timeouts -----------------------------------
 
@@ -159,6 +184,10 @@ class FaultInjector:
             and self._page_rng.random() < profile.page_timeout_prob
         ):
             timeouts += 1
+        if self.tracer.enabled and timeouts:
+            self.tracer.event(
+                "fault.page_timeouts", CAT_FAULT, timeouts=timeouts
+            )
         return timeouts
 
     def __repr__(self) -> str:

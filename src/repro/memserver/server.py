@@ -25,6 +25,8 @@ from typing import Optional
 from repro.energy.profile import MemoryServerProfile
 from repro.errors import ConfigError, PageFetchTimeout
 from repro.memserver.store import PageStore
+from repro.obs.events import CAT_MEMSERVER
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.units import KIB_PER_MIB, PAGE_SIZE_KIB
 
 
@@ -101,22 +103,40 @@ class MemoryServer:
     requests_served: int = 0
     #: Timed-out fetch attempts absorbed by :meth:`serve_page_with_retries`.
     requests_timed_out: int = 0
+    #: Observation only — never consulted for behaviour.
+    tracer: Tracer = field(default=NULL_TRACER, repr=False, compare=False)
 
     def start_serving(self) -> None:
         """Activate the daemon (host has detached the shared drive)."""
         self.serving = True
+        if self.tracer.enabled:
+            self.tracer.event(
+                "memserver.start_serving", CAT_MEMSERVER, host=self.host_id
+            )
 
     def stop_serving(self) -> None:
         """Deactivate (host woke up and reclaimed the drive)."""
         self.serving = False
+        if self.tracer.enabled:
+            self.tracer.event(
+                "memserver.stop_serving", CAT_MEMSERVER, host=self.host_id
+            )
 
     def fail(self) -> None:
         """Crash the server (fault injection)."""
         self.failed = True
+        if self.tracer.enabled:
+            self.tracer.event(
+                "memserver.fail", CAT_MEMSERVER, host=self.host_id
+            )
 
     def repair(self) -> None:
         """Bring a crashed server back (host woke, operator swapped it)."""
         self.failed = False
+        if self.tracer.enabled:
+            self.tracer.event(
+                "memserver.repair", CAT_MEMSERVER, host=self.host_id
+            )
 
     def serve_page(self, vm_id: int, pfn: int) -> bytes:
         """Serve one compressed page from the real store (prototype path)."""
@@ -135,6 +155,11 @@ class MemoryServer:
             )
         blob = self.store.fetch_compressed(vm_id, pfn)
         self.requests_served += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "memserver.serve_page", CAT_MEMSERVER,
+                host=self.host_id, vm=vm_id, pfn=pfn,
+            )
         return blob
 
     def serve_page_with_retries(
@@ -150,6 +175,11 @@ class MemoryServer:
         """
         timeouts = injector.page_timeouts() if injector is not None else 0
         self.requests_timed_out += timeouts
+        if timeouts and self.tracer.enabled:
+            self.tracer.event(
+                "memserver.fetch_timeouts", CAT_MEMSERVER,
+                host=self.host_id, vm=vm_id, pfn=pfn, timeouts=timeouts,
+            )
         return self.serve_page(vm_id, pfn)
 
     def fetch_time_with_timeouts_s(

@@ -1,0 +1,72 @@
+"""Observability: structured event tracing and a metrics registry.
+
+The simulation layers accept an optional :class:`Tracer` (default: the
+zero-overhead :data:`NULL_TRACER`); a :class:`RecordingTracer` captures
+typed events — power transitions, migrations with bytes moved, fault
+injections, policy decisions, memory-server activity — plus nested
+spans and metrics, all stamped with *simulated* time.  Exporters write
+JSONL and Chrome ``trace_event`` JSON (open it in Perfetto or
+``chrome://tracing``) and render a text timeline summary.
+
+Tracing is observation only: with any tracer, every RNG stream and every
+result byte is identical to an untraced run (differential-tested).
+"""
+
+from repro.obs.events import (
+    CAT_FARM,
+    CAT_FAULT,
+    CAT_MEMSERVER,
+    CAT_MIGRATION,
+    CAT_POLICY,
+    CAT_POWER,
+    CAT_SIM,
+    PHASE_BEGIN,
+    PHASE_END,
+    PHASE_INSTANT,
+    TraceEvent,
+)
+from repro.obs.export import (
+    events_to_chrome,
+    events_to_jsonl,
+    read_jsonl,
+    timeline_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimeWeightedHistogram,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, RecordingTracer, Tracer
+
+__all__ = [
+    "TraceEvent",
+    "CAT_SIM",
+    "CAT_POWER",
+    "CAT_MIGRATION",
+    "CAT_FAULT",
+    "CAT_POLICY",
+    "CAT_MEMSERVER",
+    "CAT_FARM",
+    "PHASE_INSTANT",
+    "PHASE_BEGIN",
+    "PHASE_END",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "Counter",
+    "Gauge",
+    "TimeWeightedHistogram",
+    "MetricsRegistry",
+    "events_to_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "events_to_chrome",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "timeline_summary",
+]

@@ -1,0 +1,99 @@
+"""Typed trace events.
+
+A :class:`TraceEvent` is one timestamped observation emitted by an
+instrumented component: a power-state transition, a migration with its
+bytes moved, an injected fault, a policy decision, or the begin/end
+marker of a nested span.  Events carry *simulated* time — the
+observability layer never reads wall clocks, so a traced run is exactly
+as reproducible as an untraced one.
+
+Event names are dotted and live under a small set of categories; the
+constants below are the vocabulary the simulation layers emit and the
+summarizer/tests consume.  Argument values are restricted to JSON
+scalars so the JSONL export is lossless and byte-stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Union
+
+from repro.errors import ObservabilityError
+
+#: Categories (one Chrome-trace lane each).
+CAT_SIM = "sim"
+CAT_POWER = "power"
+CAT_MIGRATION = "migration"
+CAT_FAULT = "fault"
+CAT_POLICY = "policy"
+CAT_MEMSERVER = "memserver"
+CAT_FARM = "farm"
+
+#: Span phases of an event (Chrome trace_event ``ph`` analogues).
+PHASE_INSTANT = "instant"
+PHASE_BEGIN = "begin"
+PHASE_END = "end"
+
+_PHASES = (PHASE_INSTANT, PHASE_BEGIN, PHASE_END)
+
+#: JSON-scalar argument types allowed on events.
+ArgValue = Union[str, int, float, bool]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured observation at a simulated instant."""
+
+    #: Emission order within one tracer (ties on ``time_s`` keep order).
+    seq: int
+    #: Simulated time of the observation, seconds.
+    time_s: float
+    #: Dotted event name, e.g. ``"power.transition"``.
+    name: str
+    #: Category (``CAT_*``); selects the Chrome-trace lane.
+    category: str
+    #: ``PHASE_INSTANT`` for point events, ``PHASE_BEGIN``/``PHASE_END``
+    #: for span boundaries.
+    phase: str = PHASE_INSTANT
+    #: Structured payload; JSON scalars only.
+    args: Dict[str, ArgValue] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.phase not in _PHASES:
+            raise ObservabilityError(
+                f"event {self.name!r} has unknown phase {self.phase!r}"
+            )
+        for key, value in self.args.items():
+            if not isinstance(value, (str, int, float, bool)):
+                raise ObservabilityError(
+                    f"event {self.name!r} arg {key!r} is not a JSON "
+                    f"scalar: {value!r}"
+                )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable view (the JSONL record)."""
+        return {
+            "seq": self.seq,
+            "time_s": self.time_s,
+            "name": self.name,
+            "cat": self.category,
+            "ph": self.phase,
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "TraceEvent":
+        """Rebuild an event from a JSONL record (summarizer input)."""
+        try:
+            return cls(
+                seq=int(record["seq"]),
+                time_s=float(record["time_s"]),
+                name=str(record["name"]),
+                category=str(record["cat"]),
+                phase=str(record["ph"]),
+                args=dict(record.get("args", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ObservabilityError(
+                f"malformed trace record {record!r}: {exc}"
+            ) from None

@@ -1,0 +1,181 @@
+"""The metrics registry: counters, gauges, time-weighted histograms.
+
+Instruments are created on demand by name and never draw randomness or
+wall clocks; gauge samples are stamped with *simulated* time supplied by
+the caller.  A :class:`TimeWeightedHistogram` records ``(value, weight)``
+observations so distributions over durations — host-sleep seconds,
+migration latencies, pages fetched per episode — can be weighted by how
+long (or how much) each observation represents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ObservabilityError
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, delta: float = 1.0) -> None:
+        if delta < 0.0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (delta {delta})"
+            )
+        self.value += delta
+
+
+@dataclass
+class Gauge:
+    """A sampled instantaneous value with its simulated-time history."""
+
+    name: str
+    value: float = 0.0
+    #: ``(time_s, value)`` samples in emission order.
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+
+    def set(self, value: float, time_s: float = 0.0) -> None:
+        self.value = value
+        self.samples.append((time_s, value))
+
+
+@dataclass
+class TimeWeightedHistogram:
+    """Weighted observations supporting weighted means and quantiles."""
+
+    name: str
+    #: ``(value, weight)`` pairs in emission order.
+    observations: List[Tuple[float, float]] = field(default_factory=list)
+
+    def observe(self, value: float, weight: float = 1.0) -> None:
+        if weight < 0.0:
+            raise ObservabilityError(
+                f"histogram {self.name!r} got negative weight {weight}"
+            )
+        self.observations.append((value, weight))
+
+    @property
+    def count(self) -> int:
+        return len(self.observations)
+
+    @property
+    def total_weight(self) -> float:
+        return sum(weight for _value, weight in self.observations)
+
+    def mean(self) -> float:
+        """Weight-averaged value; 0.0 with no (or zero-weight) data."""
+        total = self.total_weight
+        if total <= 0.0:
+            return 0.0
+        return (
+            sum(value * weight for value, weight in self.observations) / total
+        )
+
+    def quantile(self, q: float) -> float:
+        """Weighted quantile, ``0.0 <= q <= 1.0`` (0.5 = weighted median)."""
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile {q} outside [0, 1]")
+        if not self.observations:
+            raise ObservabilityError(
+                f"histogram {self.name!r} has no observations"
+            )
+        ordered = sorted(self.observations)
+        total = self.total_weight
+        if total <= 0.0:
+            return ordered[-1][0]
+        target = q * total
+        cumulative = 0.0
+        for value, weight in ordered:
+            cumulative += weight
+            if cumulative >= target:
+                return value
+        return ordered[-1][0]
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, TimeWeightedHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> TimeWeightedHistogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = TimeWeightedHistogram(name)
+        return instrument
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self._counters or self._gauges or self._histograms)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A JSON-serializable view of every instrument, name-sorted."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: {
+                    "last": self._gauges[name].value,
+                    "samples": len(self._gauges[name].samples),
+                }
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "count": hist.count,
+                    "total_weight": hist.total_weight,
+                    "mean": hist.mean(),
+                }
+                for name, hist in sorted(self._histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """A plain-text report of every instrument (CLI summaries)."""
+        lines: List[str] = []
+        if self._counters:
+            lines.append("counters:")
+            for name in sorted(self._counters):
+                lines.append(f"  {name} = {self._counters[name].value:g}")
+        if self._gauges:
+            lines.append("gauges:")
+            for name in sorted(self._gauges):
+                gauge = self._gauges[name]
+                lines.append(
+                    f"  {name} = {gauge.value:g} "
+                    f"({len(gauge.samples)} samples)"
+                )
+        if self._histograms:
+            lines.append("histograms:")
+            for name, hist in sorted(self._histograms.items()):
+                if hist.count:
+                    lines.append(
+                        f"  {name}: n={hist.count} mean={hist.mean():.3g} "
+                        f"p50={hist.quantile(0.5):.3g} "
+                        f"p99={hist.quantile(0.99):.3g}"
+                    )
+                else:
+                    lines.append(f"  {name}: n=0")
+        return "\n".join(lines) if lines else "no metrics recorded"

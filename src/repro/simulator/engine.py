@@ -6,6 +6,8 @@ import heapq
 from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs.events import CAT_SIM
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulator.events import EventHandle, ScheduledEvent
 
 
@@ -15,6 +17,12 @@ class Simulator:
     Time starts at zero and only moves forward.  Callbacks scheduled for
     the same instant run in the order they were scheduled.  Callbacks may
     schedule further events (including at the current instant).
+
+    An optional :class:`~repro.obs.Tracer` wraps every fired callback in
+    a ``sim.event`` span (labelled with the event's schedule label), so
+    a recorded trace shows the kernel's dispatch timeline with each
+    component's own events nested inside.  The default null tracer
+    reduces the hook to one attribute test per event.
 
     Example
     -------
@@ -29,11 +37,12 @@ class Simulator:
     5.0
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
         self._now = 0.0
         self._heap: List[ScheduledEvent] = []
         self._seq = 0
         self._fired = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def now(self) -> float:
@@ -98,7 +107,13 @@ class Simulator:
                 continue
             self._now = event.time
             self._fired += 1
-            event.callback(*event.args)
+            if self.tracer.enabled:
+                with self.tracer.span(
+                    "sim.event", CAT_SIM, label=event.label
+                ):
+                    event.callback(*event.args)
+            else:
+                event.callback(*event.args)
             return True
         return False
 

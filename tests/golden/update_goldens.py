@@ -19,6 +19,11 @@ The snapshot pins, per policy, one seeded small-farm day:
 * the traffic ledger (MiB per category, full float precision),
 * delay-sample count and zero-delay fraction,
 * the exact ``oasis-sim simulate`` stdout (byte-for-byte).
+
+It also pins one traced mini-run (``trace_golden.jsonl`` byte-for-byte,
+plus its Chrome export ``trace_golden_chrome.json``) so the event
+vocabulary and exporter formatting cannot drift silently either; see
+``tests/test_trace_golden.py``.
 """
 
 from __future__ import annotations
@@ -40,6 +45,20 @@ POLICY_SEEDS = {
 #: Small but non-trivial farm: big enough that every policy migrates,
 #: small enough that the four runs finish in well under a second.
 FARM_SHAPE = dict(home_hosts=4, consolidation_hosts=2, vms_per_host=4)
+
+TRACE_GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "trace_golden.jsonl"
+)
+TRACE_CHROME_PATH = os.path.join(
+    os.path.dirname(__file__), "trace_golden_chrome.json"
+)
+
+#: The traced mini-run: smaller than FARM_SHAPE (the trace grows with
+#: every event), faulty enough that all event categories appear.
+TRACE_SHAPE = dict(home_hosts=2, consolidation_hosts=1, vms_per_host=3)
+TRACE_SEED = 5
+TRACE_POLICY = "Default"
+TRACE_FAULT_PROFILE = "heavy"
 
 
 def snapshot_result(result) -> dict:
@@ -102,12 +121,45 @@ def build_goldens() -> dict:
     return goldens
 
 
+def record_trace():
+    """Run the pinned traced mini-day; returns its RecordingTracer."""
+    from repro.core import policy_by_name
+    from repro.farm import FarmConfig, simulate_day
+    from repro.faults import fault_profile_by_name
+    from repro.obs import RecordingTracer
+    from repro.traces import DayType
+
+    tracer = RecordingTracer()
+    config = FarmConfig(
+        **TRACE_SHAPE, faults=fault_profile_by_name(TRACE_FAULT_PROFILE)
+    )
+    simulate_day(
+        config,
+        policy_by_name(TRACE_POLICY),
+        DayType.WEEKDAY,
+        seed=TRACE_SEED,
+        tracer=tracer,
+    )
+    return tracer
+
+
+def build_trace_goldens() -> None:
+    from repro.obs import write_chrome_trace, write_jsonl
+
+    tracer = record_trace()
+    count = write_jsonl(tracer.events, TRACE_GOLDEN_PATH)
+    write_chrome_trace(tracer.events, TRACE_CHROME_PATH)
+    print(f"wrote {TRACE_GOLDEN_PATH} ({count} events)")
+    print(f"wrote {TRACE_CHROME_PATH}")
+
+
 def main() -> int:
     goldens = build_goldens()
     with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
         json.dump(goldens, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {GOLDEN_PATH}")
+    build_trace_goldens()
     print("Diff it, explain every changed number, commit it with your change.")
     return 0
 

@@ -38,6 +38,20 @@ class TestCdf:
         assert len(points) <= 12
         assert points[-1][1] == 1.0
 
+    def test_points_append_skipped_maximum(self):
+        # Step 2 over 6 samples stops at index 4; the true maximum must
+        # still close the curve at probability 1.0.
+        points = Cdf([1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).points(max_points=3)
+        assert points[-1] == (6.0, 1.0)
+        values = [value for value, _prob in points]
+        probabilities = [prob for _value, prob in points]
+        assert values == sorted(values)
+        assert probabilities == sorted(probabilities)
+
+    def test_points_small_sample_is_exact(self):
+        points = Cdf([3.0, 1.0]).points(max_points=100)
+        assert points == [(1.0, 0.5), (3.0, 1.0)]
+
     @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
                     min_size=1, max_size=200))
     @settings(max_examples=80, deadline=None)

@@ -80,3 +80,36 @@ class TestCdfChart:
     def test_empty_rejected(self):
         with pytest.raises(ConfigError):
             cdf_chart([])
+
+    def test_unlabeled_chart_has_only_quantile_rows(self):
+        lines = cdf_chart([(1.0, 1.0)]).splitlines()
+        assert len(lines) == 6
+        assert all(line.startswith("p") for line in lines)
+
+    def test_value_beyond_last_point_clamps_to_max(self):
+        # Cumulative probability tops out below the p90/p99/p100 probes;
+        # the chart must fall back to the largest value, not crash.
+        chart = cdf_chart([(1.0, 0.3), (2.0, 0.6)])
+        rows = {
+            line[:6]: float(line[6:].split("|")[0])
+            for line in chart.splitlines()
+        }
+        assert rows["p 25.0"] == 1.0
+        assert rows["p 50.0"] == 2.0
+        assert rows["p100.0"] == 2.0
+
+
+class TestChartEdges:
+    def test_unlabeled_line_chart_header(self):
+        lines = line_chart([1.0, 9.0], width=10, height=2).splitlines()
+        assert lines[0] == "max=9"
+        assert lines[-1] == "min=1"
+
+    def test_flat_line_chart_renders_without_span(self):
+        chart = line_chart([4.0, 4.0, 4.0], width=10, height=3)
+        assert "max=4" in chart and "min=4" in chart
+
+    def test_sparkline_downsampling_averages_buckets(self):
+        line = sparkline([0.0, 0.0, 10.0, 10.0], width=2)
+        assert len(line) == 2
+        assert line[0] == "▁" and line[1] == "█"

@@ -1,0 +1,94 @@
+"""Control-plane error paths: bad requests, stray messages, bad wiring.
+
+The happy-path protocol flows live in ``test_deploy_end_to_end.py``;
+these tests pin down what the manager does when the bus hands it
+garbage — every branch must either Nack back to the sender or ignore
+the message, never corrupt the inventory or crash the daemon.
+"""
+
+import pytest
+
+from repro.deploy import Deployment, VmConfigFile
+from repro.deploy.bus import MessageBus
+from repro.deploy.manager import MANAGER_NAME, ClusterManagerDaemon
+from repro.deploy.messages import Ack, Nack
+from repro.errors import ConfigError
+from repro.simulator.engine import Simulator
+
+
+def make_deployment(**kwargs):
+    defaults = dict(home_hosts=2, consolidation_hosts=1, vms_per_host_hint=2)
+    defaults.update(kwargs)
+    return Deployment(**defaults)
+
+
+class TestInventory:
+    def test_unknown_vm_rejected(self):
+        deployment = make_deployment()
+        with pytest.raises(ConfigError, match="no record of VM 4242"):
+            deployment.manager.inventory.vm(4242)
+
+    def test_known_vm_resolves_after_creation(self):
+        deployment = make_deployment()
+        deployment.create_vm(
+            VmConfigFile(vmid=1001, disk_image="/nfs/disks/1001.img")
+        )
+        deployment.run_for(1.0)
+        assert deployment.manager.inventory.vm(1001).vm_id == 1001
+
+
+class TestManagerMessageHandling:
+    def test_unknown_message_type_nacked(self):
+        deployment = make_deployment()
+        deployment.client.endpoint.send(MANAGER_NAME, "not a protocol frame")
+        deployment.run_for(1.0)
+        assert [nack.request for nack in deployment.client.nacks] == [
+            "unknown"
+        ]
+
+    def test_nack_to_manager_is_absorbed(self):
+        deployment = make_deployment()
+        deployment.client.endpoint.send(
+            MANAGER_NAME, Nack("create", "simulated agent failure")
+        )
+        deployment.run_for(1.0)
+        # No reply, no crash: failures are visible on the bus log only.
+        assert deployment.client.nacks == []
+        assert deployment.client.acks == []
+
+    def test_stray_migration_ack_ignored(self):
+        deployment = make_deployment()
+        deployment.client.endpoint.send(
+            MANAGER_NAME, Ack("migrated", payload=(999, 0))
+        )
+        deployment.run_for(1.0)
+        assert deployment.manager._pending_suspend == {}
+        deployment.check_consistency()
+
+
+class TestDaemonWiring:
+    def test_non_dense_host_ids_rejected(self):
+        sim = Simulator()
+        bus = MessageBus(sim)
+        with pytest.raises(ConfigError, match="host ids must be dense"):
+            ClusterManagerDaemon(
+                sim=sim,
+                bus=bus,
+                home_host_ids=[0, 2],
+                consolidation_host_ids=[1],
+                host_capacity_mib=4096.0,
+                network_storage={},
+            )
+
+    def test_roles_out_of_order_rejected(self):
+        sim = Simulator()
+        bus = MessageBus(sim)
+        with pytest.raises(ConfigError, match="homes first"):
+            ClusterManagerDaemon(
+                sim=sim,
+                bus=bus,
+                home_host_ids=[1, 2],
+                consolidation_host_ids=[0],
+                host_capacity_mib=4096.0,
+                network_storage={},
+            )

@@ -1,0 +1,60 @@
+"""Golden trace regression: the pinned traced mini-run must reproduce.
+
+``tests/golden/trace_golden.jsonl`` pins the byte-exact JSONL export of
+one seeded faulty day, and ``trace_golden_chrome.json`` its Chrome
+``trace_event`` export.  Any drift means a change altered the event
+vocabulary, the emission order, or the exporter formatting; if that is
+intended, regenerate with ``tests/golden/update_goldens.py`` and explain
+the diff in review.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    events_to_chrome,
+    events_to_jsonl,
+    read_jsonl,
+    validate_chrome_trace,
+)
+from tests.golden.update_goldens import (
+    TRACE_CHROME_PATH,
+    TRACE_GOLDEN_PATH,
+    record_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def tracer():
+    for path in (TRACE_GOLDEN_PATH, TRACE_CHROME_PATH):
+        assert os.path.exists(path), (
+            f"missing {os.path.basename(path)}; run "
+            "PYTHONPATH=src python tests/golden/update_goldens.py"
+        )
+    return record_trace()
+
+
+def test_jsonl_matches_golden_byte_for_byte(tracer):
+    with open(TRACE_GOLDEN_PATH, encoding="utf-8") as handle:
+        pinned = handle.read()
+    assert events_to_jsonl(tracer.events) == pinned
+
+
+def test_golden_jsonl_parses_back_to_the_same_events(tracer):
+    assert read_jsonl(TRACE_GOLDEN_PATH) == tracer.events
+
+
+def test_chrome_golden_is_schema_valid_and_current(tracer):
+    with open(TRACE_CHROME_PATH, encoding="utf-8") as handle:
+        pinned = json.load(handle)
+    validate_chrome_trace(pinned)
+    # Regenerating from the pinned seed produces the same document.
+    assert events_to_chrome(tracer.events) == pinned
+
+
+def test_golden_trace_covers_every_category(tracer):
+    categories = {event.category for event in tracer.events}
+    assert {"farm", "sim", "power", "migration", "fault",
+            "policy"} <= categories
