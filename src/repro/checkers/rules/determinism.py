@@ -28,6 +28,7 @@ SIMULATION_PACKAGES = (
     "repro.pagesim",
     "repro.faults",
     "repro.obs",
+    "repro.perfbench",
 )
 
 #: Attributes of the ``random`` module DET101 leaves to other rules:

@@ -11,7 +11,10 @@ Subcommands:
 * ``traces``   — generate or summarize trace CSV files;
 * ``trace``    — summarize or validate an event trace recorded with
   ``simulate --trace`` (JSONL, or Chrome ``trace_event`` JSON that
-  Perfetto / ``chrome://tracing`` can open).
+  Perfetto / ``chrome://tracing`` can open);
+* ``perfbench`` — time ``simulate_day`` and sweep throughput across
+  policies/scales, write ``BENCH_hotpath.json``, print a cProfile
+  table, and optionally gate against a committed baseline.
 
 The full evaluation sweeps live in ``benchmarks/`` (one per paper table
 or figure); the CLI covers interactive exploration and smoke-testing
@@ -291,6 +294,56 @@ def _cmd_micro(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perfbench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.perfbench import (
+        attach_baseline,
+        check_regression,
+        load_report,
+        render_case_table,
+        run_perfbench,
+        validate_report,
+        write_report,
+    )
+
+    # The perfbench package sits inside the DET checker scope, so it
+    # never reads the wall clock itself; the CLI injects it here.
+    clock = time.perf_counter
+    profile_top = 0 if (args.quick or args.no_profile) else args.profile_top
+    report, profile_text = run_perfbench(
+        clock, quick=args.quick, profile_top=profile_top
+    )
+    if args.baseline:
+        try:
+            report = attach_baseline(report, load_report(args.baseline))
+        except OSError as error:
+            print(f"cannot read baseline: {error}", file=sys.stderr)
+            return 2
+    validate_report(report)
+    write_report(report, args.out)
+    print(render_case_table(report))
+    print(f"\nwrote {args.out}")
+    if profile_text:
+        print()
+        print(profile_text, end="")
+    if args.check:
+        try:
+            committed = load_report(args.check)
+            validate_report(committed)
+        except OSError as error:
+            print(f"cannot read committed baseline: {error}", file=sys.stderr)
+            return 2
+        failures = check_regression(report, committed, limit=args.check_limit)
+        if failures:
+            for failure in failures:
+                print(f"perf regression: {failure}", file=sys.stderr)
+            return 1
+        print(f"regression gate vs {args.check}: OK "
+              f"(limit {args.check_limit}x)")
+    return 0
+
+
 def _cmd_traces(args: argparse.Namespace) -> int:
     from repro.traces import read_traces_json, write_traces_json
 
@@ -425,6 +478,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     micro.add_argument("--seed", type=int, default=0)
     micro.set_defaults(handler=_cmd_micro)
+
+    perfbench = sub.add_parser(
+        "perfbench",
+        help="time simulate_day and sweep throughput; write BENCH JSON",
+    )
+    perfbench.add_argument(
+        "--quick", action="store_true",
+        help="tiny CI subset of cases (seconds instead of minutes)",
+    )
+    perfbench.add_argument(
+        "--out", default="BENCH_hotpath.json",
+        help="where to write the sorted-key JSON report",
+    )
+    perfbench.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="earlier perfbench report to embed as the 'before' section "
+             "(adds per-case speedup ratios)",
+    )
+    perfbench.add_argument(
+        "--check", default=None, metavar="PATH",
+        help="committed report to gate against; exit 1 if any shared "
+             "case regressed more than --check-limit",
+    )
+    perfbench.add_argument(
+        "--check-limit", type=float, default=2.5,
+        help="slowdown factor tolerated by --check (default 2.5)",
+    )
+    perfbench.add_argument(
+        "--profile-top", type=int, default=15,
+        help="rows in the cProfile tottime table (full mode only)",
+    )
+    perfbench.add_argument(
+        "--no-profile", action="store_true",
+        help="skip the cProfile pass",
+    )
+    perfbench.set_defaults(handler=_cmd_perfbench)
 
     traces = sub.add_parser("traces", help="generate or inspect trace files")
     traces_sub = traces.add_subparsers(dest="action", required=True)

@@ -49,11 +49,11 @@ class Host:
         "host_id",
         "role",
         "capacity_mib",
-        "power_state",
+        "_power_state",
+        "_power_listener",
         "_vms",
         "_used_mib",
         "_full_count",
-        "_active_count",
         "_partial_fraction",
         "_served_images",
         "memory_server_enabled",
@@ -72,7 +72,8 @@ class Host:
         self.host_id = host_id
         self.role = role
         self.capacity_mib = capacity_mib
-        self.power_state = PowerState.POWERED
+        self._power_state = PowerState.POWERED
+        self._power_listener = None
         self._vms: Dict[int, VirtualMachine] = {}
         self._used_mib = 0.0
         self._full_count = 0
@@ -147,37 +148,61 @@ class Host:
         return self._partial_fraction
 
     def attach(self, vm: VirtualMachine) -> None:
-        """Place a VM on this host, reserving its resident memory."""
-        if vm.vm_id in self._vms:
+        """Place a VM on this host, reserving its resident memory.
+
+        The resident size and fit check are computed inline rather than
+        through ``vm.resident_mib`` / :meth:`can_fit` — attach/detach sit
+        on the migration hot path, and the float expressions here mirror
+        those helpers exactly.
+        """
+        vms = self._vms
+        vm_id = vm.vm_id
+        if vm_id in vms:
             raise MigrationError(
-                f"VM {vm.vm_id} is already on host {self.host_id}"
+                f"VM {vm_id} is already on host {self.host_id}"
             )
-        size = vm.resident_mib
-        if not self.can_fit(size):
+        full = vm.residency is Residency.FULL
+        if full:
+            size = vm.memory_mib
+        else:
+            size = vm.working_set_mib
+            if size is None:
+                raise MigrationError(f"partial VM {vm_id} has no working set")
+        if size > self.capacity_mib - self._used_mib + 1e-9:
             raise CapacityError(
                 f"host {self.host_id}: {size:.0f} MiB does not fit "
                 f"({self.free_mib:.0f} MiB free)"
             )
-        self._vms[vm.vm_id] = vm
+        vms[vm_id] = vm
         self._used_mib += size
-        if vm.residency is Residency.FULL:
+        if full:
             self._full_count += 1
         else:
-            self._partial_fraction += vm.resident_fraction
+            self._partial_fraction += size / vm.memory_mib
 
     def detach(self, vm_id: int) -> VirtualMachine:
         """Remove a VM from this host, releasing its resident memory."""
-        vm = self.get_vm(vm_id)
-        del self._vms[vm_id]
-        self._used_mib -= vm.resident_mib
-        if self._used_mib < 0.0:
-            self._used_mib = 0.0
-        if vm.residency is Residency.FULL:
+        vms = self._vms
+        vm = vms.get(vm_id)
+        if vm is None:
+            raise MigrationError(
+                f"VM {vm_id} is not running on host {self.host_id}"
+            )
+        del vms[vm_id]
+        full = vm.residency is Residency.FULL
+        if full:
+            size = vm.memory_mib
+        else:
+            size = vm.working_set_mib
+            if size is None:
+                raise MigrationError(f"partial VM {vm_id} has no working set")
+        used = self._used_mib - size
+        self._used_mib = used if used > 0.0 else 0.0
+        if full:
             self._full_count -= 1
         else:
-            self._partial_fraction = max(
-                0.0, self._partial_fraction - vm.resident_fraction
-            )
+            fraction = self._partial_fraction - size / vm.memory_mib
+            self._partial_fraction = fraction if fraction > 0.0 else 0.0
         return vm
 
     def convert_vm_full_in_place(self, vm_id: int) -> None:
@@ -243,12 +268,35 @@ class Host:
     # -- power state ----------------------------------------------------------
 
     @property
+    def power_state(self) -> PowerState:
+        return self._power_state
+
+    @power_state.setter
+    def power_state(self, state: PowerState) -> None:
+        """Set the power state, notifying the cluster's index listener.
+
+        Transition legality is checked by the ``begin_*``/``complete_*``
+        methods, not here — direct assignment stays available for tests
+        and setup code that place a host into an arbitrary state.
+        """
+        previous = self._power_state
+        self._power_state = state
+        if self._power_listener is not None and state is not previous:
+            self._power_listener(self, previous, state)
+
+    def set_power_listener(self, listener) -> None:
+        """Register ``listener(host, old_state, new_state)`` for power
+        edges; the cluster uses this to keep powered-count indexes hot.
+        Pass ``None`` to detach."""
+        self._power_listener = listener
+
+    @property
     def is_powered(self) -> bool:
-        return self.power_state is PowerState.POWERED
+        return self._power_state is PowerState.POWERED
 
     @property
     def is_sleeping(self) -> bool:
-        return self.power_state is PowerState.SLEEPING
+        return self._power_state is PowerState.SLEEPING
 
     def begin_suspend(self) -> None:
         """Start suspending to RAM; illegal while any VM runs here."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List
 
 from repro.cluster.host import Host, HostRole
+from repro.cluster.power import PowerState
 from repro.errors import ConfigError
 from repro.vm.state import Residency
 
@@ -49,6 +50,33 @@ class Cluster:
             next_id += 1
         self.home_host_count = home_hosts
         self.consolidation_host_count = consolidation_hosts
+        # Role membership never changes after construction; cache the
+        # per-role lists and keep powered counts current through each
+        # host's power-state listener so the per-interval aggregate
+        # queries are O(1) instead of O(hosts).
+        self._home_hosts: List[Host] = [
+            h for h in self._hosts.values() if h.role is HostRole.COMPUTE
+        ]
+        self._consolidation_hosts: List[Host] = [
+            h for h in self._hosts.values()
+            if h.role is HostRole.CONSOLIDATION
+        ]
+        self._powered_home = home_hosts
+        self._powered_consolidation = consolidation_hosts
+        for host in self._hosts.values():
+            host.set_power_listener(self._on_power_edge)
+
+    def _on_power_edge(self, host: Host, previous, state) -> None:
+        """Host power-state listener: maintain the powered-count index."""
+        was_powered = previous is PowerState.POWERED
+        now_powered = host.is_powered
+        if was_powered == now_powered:
+            return
+        delta = 1 if now_powered else -1
+        if host.role is HostRole.COMPUTE:
+            self._powered_home += delta
+        else:
+            self._powered_consolidation += delta
 
     # -- lookup -----------------------------------------------------------
 
@@ -70,29 +98,47 @@ class Cluster:
 
     @property
     def home_hosts(self) -> List[Host]:
-        return [h for h in self._hosts.values() if h.role is HostRole.COMPUTE]
+        return list(self._home_hosts)
 
     @property
     def consolidation_hosts(self) -> List[Host]:
-        return [
-            h for h in self._hosts.values()
-            if h.role is HostRole.CONSOLIDATION
-        ]
+        return list(self._consolidation_hosts)
 
     # -- aggregate queries ---------------------------------------------------
 
     def powered_host_count(self) -> int:
         """Hosts currently fully powered (Figure 7's y-axis)."""
-        return sum(1 for host in self._hosts.values() if host.is_powered)
+        return self._powered_home + self._powered_consolidation
 
     def powered_home_count(self) -> int:
-        return sum(1 for host in self.home_hosts if host.is_powered)
+        return self._powered_home
 
     def powered_consolidation_count(self) -> int:
-        return sum(1 for host in self.consolidation_hosts if host.is_powered)
+        return self._powered_consolidation
 
     def total_running_vms(self) -> int:
         return sum(host.vm_count for host in self._hosts.values())
+
+    def verify_indexes(self) -> None:
+        """Cross-check the powered-count index against a full rescan.
+
+        Used by the debug mode (``REPRO_DEBUG_INDEXES``) and the index
+        property battery; raises ``AssertionError`` on drift.
+        """
+        home = sum(
+            1 for host in self._home_hosts if host.is_powered
+        )
+        consolidation = sum(
+            1 for host in self._consolidation_hosts if host.is_powered
+        )
+        assert home == self._powered_home, (
+            f"powered home index drifted: {self._powered_home} vs "
+            f"rescanned {home}"
+        )
+        assert consolidation == self._powered_consolidation, (
+            f"powered consolidation index drifted: "
+            f"{self._powered_consolidation} vs rescanned {consolidation}"
+        )
 
     def check_invariants(self) -> None:
         """Verify incremental memory accounting against recomputation.

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import enum
 import random
+from math import cos as _cos, log as _log, sin as _sin, sqrt as _sqrt
+from math import tau as _TWOPI
 from typing import Dict, List, Optional
 
 from repro.cluster.host import Host
@@ -30,8 +32,7 @@ from repro.core.plan import (
 )
 from repro.core.policies import PolicySpec
 from repro.errors import ConfigError
-from repro.vm.machine import VirtualMachine
-from repro.vm.state import Residency
+from repro.vm.state import Residency, VmActivity
 from repro.vm.workingset import WorkingSetSampler
 
 
@@ -45,16 +46,28 @@ class DestinationStrategy(enum.Enum):
 
 
 class _ShadowCapacity:
-    """Free memory per consolidation host as the plan takes shape."""
+    """Free memory per consolidation host as the plan takes shape.
+
+    Backed by parallel lists in consolidation-host order (ascending host
+    id) rather than dicts: the candidate scan is the planner's innermost
+    loop and runs tens of thousands of times per simulated day.  The
+    scan order — and therefore every ``rng.choice`` draw downstream —
+    matches the dict-insertion order of the mapping it replaces.
+    """
+
+    __slots__ = ("ids", "index", "free", "capacity", "powered", "effective", "woken")
 
     def __init__(self, cluster: Cluster) -> None:
-        self.free: Dict[int, float] = {}
-        self.capacity: Dict[int, float] = {}
-        self.powered: Dict[int, bool] = {}
-        for host in cluster.consolidation_hosts:
-            self.free[host.host_id] = host.free_mib
-            self.capacity[host.host_id] = host.capacity_mib
-            self.powered[host.host_id] = host.is_powered
+        hosts = cluster.consolidation_hosts
+        self.ids: List[int] = [host.host_id for host in hosts]
+        self.index: Dict[int, int] = {
+            host_id: position for position, host_id in enumerate(self.ids)
+        }
+        self.free: List[float] = [host.free_mib for host in hosts]
+        self.capacity: List[float] = [host.capacity_mib for host in hosts]
+        self.powered: List[bool] = [host.is_powered for host in hosts]
+        #: powered-or-woken, the effective state candidate scans test.
+        self.effective: List[bool] = list(self.powered)
         self.woken: set = set()
 
     def candidates(
@@ -63,22 +76,36 @@ class _ShadowCapacity:
         """Hosts that can take ``size_mib`` while keeping at least
         ``headroom_fraction`` of their capacity free afterwards."""
         result = []
-        for host_id, free in self.free.items():
-            reserve = headroom_fraction * self.capacity[host_id]
-            if free + 1e-9 < size_mib + reserve:
-                continue
-            is_powered = self.powered[host_id] or host_id in self.woken
-            if powered_only == is_powered:
-                result.append(host_id)
+        free = self.free
+        effective = self.effective
+        if headroom_fraction:
+            capacity = self.capacity
+            for position, host_id in enumerate(self.ids):
+                reserve = headroom_fraction * capacity[position]
+                if free[position] + 1e-9 < size_mib + reserve:
+                    continue
+                if powered_only == effective[position]:
+                    result.append(host_id)
+        else:
+            for position, host_id in enumerate(self.ids):
+                if free[position] + 1e-9 < size_mib:
+                    continue
+                if powered_only == effective[position]:
+                    result.append(host_id)
         return result
 
     def place(self, host_id: int, size_mib: float) -> None:
-        self.free[host_id] -= size_mib
-        if not self.powered[host_id]:
+        position = self.index[host_id]
+        self.free[position] -= size_mib
+        if not self.powered[position]:
             self.woken.add(host_id)
+            self.effective[position] = True
 
     def unplace(self, host_id: int, size_mib: float) -> None:
-        self.free[host_id] += size_mib
+        # Deliberately does not revert ``woken``/``effective``: a rolled-
+        # back placement may already have committed the wake decision
+        # (matching the historical dict-backed behaviour).
+        self.free[self.index[host_id]] += size_mib
 
 
 class GreedyVacatePlanner:
@@ -206,7 +233,7 @@ class GreedyVacatePlanner:
                 )
                 emptied.add(host.host_id)
                 # The emptied host is no longer a destination.
-                shadow.free[host.host_id] = -1.0
+                shadow.free[shadow.index[host.host_id]] = -1.0
             else:
                 for destination, size in placed:
                     shadow.unplace(destination, size)
@@ -229,71 +256,152 @@ class GreedyVacatePlanner:
         idle ones.  This is both the sort key (the paper's "total VM
         memory demand / migration cost") and a proxy for transfer cost."""
         expected_ws = self.working_sets.expected_mib()
+        active = VmActivity.ACTIVE
         demand = 0.0
-        for vm in host.vms():
-            if vm.is_active:
+        for vm in host._vms.values():
+            if vm.activity is active:
                 demand += vm.memory_mib
             else:
-                demand += min(expected_ws, vm.memory_mib)
+                memory = vm.memory_mib
+                demand += expected_ws if expected_ws < memory else memory
         return demand
 
     def _try_vacate(
         self, host: Host, shadow: _ShadowCapacity
     ) -> Optional[List[PlannedMigration]]:
-        """Plan all of one host's VMs, or None if any VM cannot move."""
+        """Plan all of one host's VMs, or None if any VM cannot move.
+
+        This is the planner's innermost loop — tens of thousands of VM
+        placements per simulated day, most of which roll back when a
+        later sibling fails to fit — so the per-VM work (working-set
+        sampling, candidate scan, destination draw, shadow placement) is
+        fused inline, down to the RNG primitives: the Gaussian working-
+        set draw replays ``random.Random.gauss`` (the Box-Muller pair
+        algorithm, including its ``gauss_next`` cache), and the random
+        destination draw replays ``Random.choice`` (the ``getrandbits``
+        rejection loop).  Draw-for-draw it replays exactly what the
+        unfused ``sample``/``candidates``/``choice`` sequence did, in
+        the same order; only the Python call overhead is gone.
+        """
+        rng = self.rng
+        uniform01 = rng.random
+        getrandbits = rng.getrandbits
+        sampler = self.working_sets
+        ws_mean = sampler.mean_mib
+        ws_std = sampler.std_mib
+        ws_lo = sampler.min_mib
+        ws_hi = sampler.max_mib
+        min_idle = self.min_idle_intervals
+        full_migrate_active = self.policy.full_migrate_active
+        random_strategy = self.strategy is DestinationStrategy.RANDOM
+        ids = shadow.ids
+        free = shadow.free
+        powered = shadow.powered
+        effective = shadow.effective
+        host_index = shadow.index
+        woken = shadow.woken
+        positions = range(len(ids))
+        source_id = host.host_id
+        active = VmActivity.ACTIVE
+        partial_mode = MigrationMode.PARTIAL
+        full_mode = MigrationMode.FULL
         migrations: List[PlannedMigration] = []
-        placed: List = []  # (host_id, size) for rollback
-        for vm in host.vms():
-            planned = self._plan_vm(vm, host.host_id, shadow)
-            if planned is None:
-                for dest_id, size in placed:
-                    shadow.unplace(dest_id, size)
-                return None
-            migrations.append(planned)
-            size = (
-                planned.working_set_mib
-                if planned.mode is MigrationMode.PARTIAL
-                else vm.memory_mib
+        placed: List = []  # (position, size) for rollback
+        for vm in host._vms.values():
+            if vm.activity is active:
+                if not full_migrate_active:
+                    for position, size in placed:
+                        free[position] += size
+                    return None
+                working_set = None
+                size = vm.memory_mib
+                mode = full_mode
+            else:
+                # Inlined VirtualMachine.idle_intervals (clock-anchored
+                # streak or the eagerly maintained base count).
+                anchor = vm._idle_anchor
+                idle = (
+                    vm._idle_base
+                    if anchor is None
+                    else vm._interval_clock.index - anchor + 1
+                )
+                if idle < min_idle:
+                    for position, size in placed:
+                        free[position] += size
+                    return None
+                # Inlined WorkingSetSampler.sample: identical rejection
+                # loop, hence identical gauss draw count and values.
+                for _ in range(64):
+                    z = rng.gauss_next
+                    rng.gauss_next = None
+                    if z is None:
+                        x2pi = uniform01() * _TWOPI
+                        g2rad = _sqrt(-2.0 * _log(1.0 - uniform01()))
+                        z = _cos(x2pi) * g2rad
+                        rng.gauss_next = _sin(x2pi) * g2rad
+                    working_set = ws_mean + z * ws_std
+                    if ws_lo <= working_set <= ws_hi:
+                        break
+                else:
+                    z = rng.gauss_next
+                    rng.gauss_next = None
+                    if z is None:
+                        x2pi = uniform01() * _TWOPI
+                        g2rad = _sqrt(-2.0 * _log(1.0 - uniform01()))
+                        z = _cos(x2pi) * g2rad
+                        rng.gauss_next = _sin(x2pi) * g2rad
+                    working_set = ws_mean + z * ws_std
+                    if working_set < ws_lo:
+                        working_set = ws_lo
+                    elif working_set > ws_hi:
+                        working_set = ws_hi
+                memory = vm.memory_mib
+                if working_set > memory:
+                    working_set = memory
+                size = working_set
+                mode = partial_mode
+            # Inlined candidate scan: powered (or woken) hosts first,
+            # then sleeping ones; ascending host id within each tier.
+            candidates = []
+            for position in positions:
+                if free[position] + 1e-9 >= size and effective[position]:
+                    candidates.append(ids[position])
+            if not candidates:
+                for position in positions:
+                    if (
+                        free[position] + 1e-9 >= size
+                        and not effective[position]
+                    ):
+                        candidates.append(ids[position])
+                if not candidates:
+                    for position, size in placed:
+                        free[position] += size
+                    return None
+            if random_strategy:
+                n = len(candidates)
+                k = n.bit_length()
+                r = getrandbits(k)
+                while r >= n:
+                    r = getrandbits(k)
+                destination = candidates[r]
+            else:
+                destination = self._choose(candidates, shadow)
+            position = host_index[destination]
+            free[position] -= size
+            if not powered[position]:
+                woken.add(destination)
+                effective[position] = True
+            placed.append((position, size))
+            migrations.append(
+                PlannedMigration(
+                    vm_id=vm.vm_id,
+                    source_id=source_id,
+                    destination_id=destination,
+                    mode=mode,
+                    working_set_mib=working_set,
+                )
             )
-            placed.append((planned.destination_id, size))
         return migrations
-
-    def _plan_vm(
-        self, vm: VirtualMachine, source_id: int, shadow: _ShadowCapacity
-    ) -> Optional[PlannedMigration]:
-        if vm.is_active:
-            if not self.policy.full_migrate_active:
-                return None
-            size = vm.memory_mib
-            mode = MigrationMode.FULL
-            working_set = None
-        else:
-            if vm.idle_intervals < self.min_idle_intervals:
-                return None
-            working_set = self.working_sets.sample(self.rng)
-            working_set = min(working_set, vm.memory_mib)
-            size = working_set
-            mode = MigrationMode.PARTIAL
-        destination = self._pick_destination(size, shadow)
-        if destination is None:
-            return None
-        shadow.place(destination, size)
-        return PlannedMigration(
-            vm_id=vm.vm_id,
-            source_id=source_id,
-            destination_id=destination,
-            mode=mode,
-            working_set_mib=working_set,
-        )
-
-    def _pick_destination(
-        self, size_mib: float, shadow: _ShadowCapacity
-    ) -> Optional[int]:
-        for powered_only in (True, False):
-            candidates = shadow.candidates(size_mib, powered_only)
-            if candidates:
-                return self._choose(candidates, shadow)
-        return None
 
     def _choose(self, candidates: List[int], shadow: _ShadowCapacity) -> int:
         if self.strategy is DestinationStrategy.RANDOM:
@@ -301,5 +409,11 @@ class GreedyVacatePlanner:
         if self.strategy is DestinationStrategy.FIRST_FIT:
             return min(candidates)
         if self.strategy is DestinationStrategy.BEST_FIT:
-            return min(candidates, key=lambda host_id: shadow.free[host_id])
-        return max(candidates, key=lambda host_id: shadow.free[host_id])
+            return min(
+                candidates,
+                key=lambda host_id: shadow.free[shadow.index[host_id]],
+            )
+        return max(
+            candidates,
+            key=lambda host_id: shadow.free[shadow.index[host_id]],
+        )

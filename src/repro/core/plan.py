@@ -22,33 +22,71 @@ class MigrationMode(enum.Enum):
     PARTIAL = "partial"
 
 
-@dataclass(frozen=True)
 class PlannedMigration:
-    """One migration order."""
+    """One migration order.
 
-    vm_id: int
-    source_id: int
-    destination_id: int
-    mode: MigrationMode
-    #: Sampled idle working set for partial migrations, MiB.
-    working_set_mib: Optional[float] = None
+    A hand-rolled ``__slots__`` value class rather than a frozen
+    dataclass: the planner creates tens of thousands per simulated day,
+    and the frozen-dataclass construction path (``object.__setattr__``
+    per field plus a ``__post_init__`` frame) dominated its profile.
+    Validation, equality, and repr match the dataclass it replaces.
+    """
 
-    def __post_init__(self) -> None:
-        if self.source_id == self.destination_id:
+    __slots__ = (
+        "vm_id", "source_id", "destination_id", "mode", "working_set_mib"
+    )
+
+    def __init__(
+        self,
+        vm_id: int,
+        source_id: int,
+        destination_id: int,
+        mode: MigrationMode,
+        working_set_mib: Optional[float] = None,
+    ) -> None:
+        if source_id == destination_id:
             raise ConfigError(
-                f"VM {self.vm_id}: source and destination are both "
-                f"{self.source_id}"
+                f"VM {vm_id}: source and destination are both "
+                f"{source_id}"
             )
-        if self.mode is MigrationMode.PARTIAL:
-            if self.working_set_mib is None or self.working_set_mib <= 0.0:
+        if mode is MigrationMode.PARTIAL:
+            if working_set_mib is None or working_set_mib <= 0.0:
                 raise ConfigError(
-                    f"VM {self.vm_id}: partial migration needs a positive "
+                    f"VM {vm_id}: partial migration needs a positive "
                     f"working set"
                 )
-        elif self.working_set_mib is not None:
+        elif working_set_mib is not None:
             raise ConfigError(
-                f"VM {self.vm_id}: full migration carries no working set"
+                f"VM {vm_id}: full migration carries no working set"
             )
+        self.vm_id = vm_id
+        self.source_id = source_id
+        self.destination_id = destination_id
+        self.mode = mode
+        #: Sampled idle working set for partial migrations, MiB.
+        self.working_set_mib = working_set_mib
+
+    def _astuple(self) -> tuple:
+        return (
+            self.vm_id, self.source_id, self.destination_id,
+            self.mode, self.working_set_mib,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PlannedMigration):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:
+        return (
+            f"PlannedMigration(vm_id={self.vm_id!r}, "
+            f"source_id={self.source_id!r}, "
+            f"destination_id={self.destination_id!r}, mode={self.mode!r}, "
+            f"working_set_mib={self.working_set_mib!r})"
+        )
 
 
 @dataclass(frozen=True)

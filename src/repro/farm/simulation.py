@@ -27,7 +27,10 @@ test suite.
 
 from __future__ import annotations
 
+import gc
 import math
+import os
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Set
 
 from repro.cluster.host import Host, HostRole
@@ -54,6 +57,7 @@ from repro.obs.events import CAT_FARM, CAT_FAULT, CAT_MIGRATION, CAT_POWER
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulator.engine import Simulator
 from repro.simulator.randomness import RngStreams
+from repro.traces.edges import ActivityEdgeSchedule
 from repro.traces.model import DayType
 from repro.traces.sampler import TraceEnsemble, generate_ensemble
 from repro.units import (
@@ -62,8 +66,8 @@ from repro.units import (
     SECONDS_PER_DAY,
     TRACE_INTERVAL_SECONDS,
 )
-from repro.vm.machine import VirtualMachine
-from repro.vm.state import Residency, VmActivity
+from repro.vm.machine import IntervalClock, VirtualMachine
+from repro.vm.state import Residency
 
 _SLEEP_STATE = "sleeping"
 
@@ -135,10 +139,14 @@ class FarmSimulation:
             tracer=self.tracer,
         )
 
+        # All VMs share one interval clock: quiet VMs' idle streaks grow
+        # with the clock instead of through per-VM per-interval updates.
+        self._interval_clock = IntervalClock()
         self.vms: Dict[int, VirtualMachine] = {}
         for vm_id in range(config.total_vms):
             home_id = vm_id // config.vms_per_host
             vm = VirtualMachine(vm_id, home_id, config.vm_memory_mib)
+            vm.track_idle_with(self._interval_clock)
             self.vms[vm_id] = vm
             self.cluster.host(home_id).attach(vm)
 
@@ -174,11 +182,50 @@ class FarmSimulation:
         self._wake_chain_ends: Dict[int, float] = {}
 
         self._settles_at: Dict[int, float] = {}
+        # Min-heap of (settles_at, vm_id) marks, lazily deleted: a VM
+        # that re-settles leaves its older entries in the heap; expiry
+        # only trusts an entry whose mark is still current (<= now).
+        self._settle_heap: List[tuple] = []
         self._episode_open: Set[int] = set()
         self._transition_done: Dict[int, float] = {}
         self._wake_after_suspend: Set[int] = set()
         self._suspend_pending: Set[int] = set()
-        self._previous_activity: List[bool] = [False] * config.total_vms
+        # The ensemble compiled to activity flips: the interval handler
+        # touches only VMs whose activity changes (O(edges), not O(V)).
+        self._edge_schedule = ActivityEdgeSchedule.compile(ensemble)
+        self._active_count = 0
+        #: origin_home_id -> ids of VMs that are FULL away from their
+        #: origin home (the _return_full_vms_home candidates), plus the
+        #: ids of all currently PARTIAL VMs (the working-set growth
+        #: candidates).  Maintained by _sync_vm_index at every residency
+        #: or placement mutation; iterated sorted, so behaviour matches
+        #: the full ascending-vm_id rescans these replace.
+        self._away_full: Dict[int, Set[int]] = {}
+        self._partial_vms: Set[int] = set()
+        self._debug_indexes = bool(os.environ.get("REPRO_DEBUG_INDEXES"))
+        #: Hosts whose power draw must be re-evaluated before the current
+        #: event callback returns (see _refresh_power/_flush_power).
+        self._power_dirty: Set[int] = set()
+        # Hot-path caches.  The host list is stable (ascending host_id,
+        # matching cluster iteration order); the power coefficients feed
+        # _refresh_power_now's inlined powered/sleeping formulas, which
+        # mirror HostPowerProfile.powered_watts exactly when the
+        # per-active-VM surcharge is zero (the default).
+        self._all_hosts = self.cluster.hosts
+        profile = config.host_power
+        self._host_power = profile
+        self._power_idle_w = profile.idle_w
+        self._power_per_vm_w = profile.per_vm_w
+        self._powered_fast = not (profile.per_active_vm_extra_w > 0.0)
+        if config.memory_server_present:
+            self._sleep_served_w: Optional[float] = (
+                profile.sleep_w + config.memory_server.total_w
+            )
+        else:
+            self._sleep_served_w = None
+        # Per-event label strings are only worth building when a tracer
+        # will record them; the hot paths gate on this flag.
+        self._trace_labels = self.tracer.enabled
         self._planning_every = int(
             round(config.planning_interval_s / TRACE_INTERVAL_SECONDS)
         )
@@ -192,16 +239,27 @@ class FarmSimulation:
         """Execute the full day and return the collected metrics."""
         if self._finished:
             raise SimulationError("this simulation has already run")
-        if self.tracer.enabled:
-            with self.tracer.span(
-                "farm.day", CAT_FARM,
-                policy=self.policy.name,
-                day_type=self.ensemble.day_type.value,
-                seed=self.seed,
-            ):
+        # The event loop allocates heavily but creates no reference
+        # cycles that must be reclaimed mid-day; pausing the cyclic
+        # collector avoids periodic full-heap scans.  Purely a wall-
+        # clock lever: allocation and results are unaffected.
+        collecting = gc.isenabled()
+        if collecting:
+            gc.disable()
+        try:
+            if self.tracer.enabled:
+                with self.tracer.span(
+                    "farm.day", CAT_FARM,
+                    policy=self.policy.name,
+                    day_type=self.ensemble.day_type.value,
+                    seed=self.seed,
+                ):
+                    self._run_day()
+            else:
                 self._run_day()
-        else:
-            self._run_day()
+        finally:
+            if collecting:
+                gc.enable()
         return self.result
 
     def _run_day(self) -> None:
@@ -217,7 +275,10 @@ class FarmSimulation:
                 if host.power_state is PowerState.SLEEPING:
                     self._sleep_since[host.host_id] = now
         for host in self.cluster:
-            self._refresh_power(host)
+            # Direct (non-deferred) refresh: the first set_power call per
+            # host creates its meter, and meter creation order fixes the
+            # float summation order of total_joules.
+            self._refresh_power_now(host)
             self.tracker.set_state(host.host_id, host.power_state.value, now)
 
         for host_id, crash_time in self.fault_plan.memserver_crashes:
@@ -259,11 +320,18 @@ class FarmSimulation:
                     self._run_planning(now)
             else:
                 self._run_planning(now)
-        for host in self.cluster:
-            if host.is_powered:
-                self._refresh_power(host)
-                if host.vm_count == 0:
-                    self._consider_suspend(host)
+        powered = PowerState.POWERED
+        dirty_add = self._power_dirty.add
+        consider_suspend = self._consider_suspend
+        for host in self._all_hosts:
+            if host._power_state is powered:
+                dirty_add(host.host_id)
+                if not host._vms:
+                    consider_suspend(host)
+        self._flush_power()
+        if self._debug_indexes:
+            self.cluster.verify_indexes()
+            self._verify_vm_indexes()
 
     def _run_planning(self, now: float) -> None:
         """One periodic planning pass: exchanges, then consolidation."""
@@ -276,21 +344,31 @@ class FarmSimulation:
 
     def _update_activities(self, index: int, now: float) -> None:
         jitter_max = self.config.activation_jitter_s
-        for vm_id, trace in enumerate(self.ensemble):
-            active = trace.intervals[index]
-            was_active = self._previous_activity[vm_id]
-            self._previous_activity[vm_id] = active
-            vm = self.vms[vm_id]
-            vm.set_activity(VmActivity.ACTIVE if active else VmActivity.IDLE)
-            if active and not was_active:
-                if vm.residency is Residency.FULL:
+        self._interval_clock.index = index
+        vms = self.vms
+        active_count = self._active_count
+        full = Residency.FULL
+        already_full = ActivationAction.ALREADY_FULL.value
+        delays_append = self.result.delays.append
+        uniform = self._jitter_rng.uniform
+        schedule = self.sim.schedule
+        on_activation = self._on_activation
+        trace_labels = self._trace_labels
+        # Compiled edges replay the eager per-VM scan's ascending-vm_id
+        # visit order, so jitter draws and delay samples are byte-equal.
+        for vm_id, active in self._edge_schedule.by_interval[index]:
+            vm = vms[vm_id]
+            vm.apply_activity_edge(active)
+            if active:
+                active_count += 1
+                if vm.residency is full:
                     # Full VMs already hold all their resources (§5.5).
-                    self.result.delays.append(
+                    delays_append(
                         DelaySample(
                             time_s=now,
                             vm_id=vm_id,
                             delay_s=0.0,
-                            action=ActivationAction.ALREADY_FULL.value,
+                            action=already_full,
                         )
                     )
                 else:
@@ -299,11 +377,63 @@ class FarmSimulation:
                     # jitter_max < 2 a (1, jitter_max - 1) draw inverts
                     # its bounds and can go negative, which
                     # Simulator.schedule rejects mid-day.
-                    jitter = self._jitter_rng.uniform(0.0, jitter_max)
-                    self.sim.schedule(
-                        jitter, self._on_activation, vm_id,
-                        label=f"activate-{vm_id}",
+                    jitter = uniform(0.0, jitter_max)
+                    schedule(
+                        jitter, on_activation, vm_id,
+                        label=(
+                            f"activate-{vm_id}" if trace_labels else ""
+                        ),
                     )
+            else:
+                active_count -= 1
+        self._active_count = active_count
+
+    def _sync_vm_index(self, vm: VirtualMachine) -> None:
+        """Refresh one VM's membership in the placement indexes.
+
+        Must be called after every residency or placement mutation; the
+        debug mode (``REPRO_DEBUG_INDEXES=1``) cross-checks the indexes
+        against full rescans at every interval boundary.
+        """
+        vm_id = vm.vm_id
+        if vm.residency is Residency.PARTIAL:
+            self._partial_vms.add(vm_id)
+        else:
+            self._partial_vms.discard(vm_id)
+        bucket = self._away_full.get(vm.origin_home_id)
+        if vm.residency is Residency.FULL and vm.host_id != vm.origin_home_id:
+            if bucket is None:
+                bucket = self._away_full[vm.origin_home_id] = set()
+            bucket.add(vm_id)
+        elif bucket is not None:
+            bucket.discard(vm_id)
+
+    def _verify_vm_indexes(self) -> None:
+        """Debug cross-check: indexes must equal a from-scratch rescan."""
+        partial = {
+            vm_id
+            for vm_id, vm in self.vms.items()
+            if vm.residency is Residency.PARTIAL
+        }
+        assert partial == self._partial_vms, (
+            f"partial index drifted: {sorted(self._partial_vms)} vs "
+            f"rescanned {sorted(partial)}"
+        )
+        away: Dict[int, Set[int]] = {}
+        for vm in self.vms.values():
+            if (
+                vm.residency is Residency.FULL
+                and vm.host_id != vm.origin_home_id
+            ):
+                away.setdefault(vm.origin_home_id, set()).add(vm.vm_id)
+        indexed = {
+            home_id: ids
+            for home_id, ids in self._away_full.items()
+            if ids
+        }
+        assert away == indexed, (
+            f"away-full index drifted: {indexed} vs rescanned {away}"
+        )
 
     def _collect_stale_horizons(self, now: float) -> None:
         """Drop scheduler horizons and settle marks that already passed.
@@ -319,13 +449,16 @@ class FarmSimulation:
         ``now`` is ``now`` itself.
         """
         self.scheduler.clear_before(now)
-        settled = [
-            vm_id
-            for vm_id, settles_at in self._settles_at.items()
-            if settles_at <= now
-        ]
-        for vm_id in settled:
-            del self._settles_at[vm_id]
+        heap = self._settle_heap
+        if heap:
+            settles = self._settles_at
+            while heap and heap[0][0] <= now:
+                _, vm_id = heappop(heap)
+                mark = settles.get(vm_id)
+                if mark is not None and mark <= now:
+                    # The popped entry may be stale (the VM re-settled
+                    # later); only the current mark decides expiry.
+                    del settles[vm_id]
 
     def _charge_page_request_wakeups(self) -> None:
         """The no-memory-server ablation: sleeping homes pay to serve
@@ -370,12 +503,17 @@ class FarmSimulation:
         delta = self.config.working_set_growth_mib_per_h * (
             TRACE_INTERVAL_SECONDS / 3600.0
         )
-        for vm in self.vms.values():
+        # The sorted partial-VM index replays the ascending-vm_id order
+        # of the full rescan it replaces; the residency re-check matters
+        # because an overflow's wake-home below can reintegrate later
+        # VMs mid-pass (sorted() already snapshotted the membership).
+        for vm_id in sorted(self._partial_vms):
+            vm = self.vms[vm_id]
             if vm.residency is not Residency.PARTIAL:
                 continue
             host = self.cluster.host(vm.host_id)
             try:
-                host.grow_partial_vm(vm.vm_id, delta)
+                host.grow_partial_vm(vm_id, delta)
             except CapacityError:
                 # Growth exhausted the consolidation host (§3.2): apply the
                 # same strategy as an activation that does not fit.
@@ -384,7 +522,7 @@ class FarmSimulation:
     def _sample_metrics(self) -> None:
         result = self.result
         result.sample_times_s.append(self.sim.now)
-        active = sum(1 for vm in self.vms.values() if vm.is_active)
+        active = self._active_count
         result.active_vms.append(active)
         result.powered_hosts.append(self.cluster.powered_host_count())
         result.powered_home_hosts.append(self.cluster.powered_home_count())
@@ -428,6 +566,7 @@ class FarmSimulation:
                 action=action.value,
             )
         )
+        self._flush_power()
 
     def _convert_in_place(
         self, vm: VirtualMachine, now: float, fault_exempt: bool = False
@@ -452,13 +591,14 @@ class FarmSimulation:
                 vm, now, fault_exempt=True
             )
         host.convert_vm_full_in_place(vm.vm_id)
+        self._sync_vm_index(vm)
         old_home.remove_served_image(vm.vm_id)
         # The remaining image streams in over the consolidation host's
         # NIC while the VM keeps executing on its resident working set,
         # so the transfer occupies the NIC without stalling the user;
         # what the user perceives is the resume handshake (§5.5).
-        start, end = self.scheduler.reserve(
-            [("nic", host.host_id)],
+        start, end = self.scheduler.reserve_one(
+            ("nic", host.host_id),
             now,
             self.config.costs.inplace_conversion_s,
             not_before=self._settles_at.get(vm.vm_id, 0.0),
@@ -470,6 +610,7 @@ class FarmSimulation:
         )
         self._close_episode(vm.vm_id)
         self._settles_at[vm.vm_id] = end
+        heappush(self._settle_heap, (end, vm.vm_id))
         self.result.counters.conversions_in_place += 1
         self._refresh_power(host)
         return now + self.config.costs.reintegration_s
@@ -502,9 +643,10 @@ class FarmSimulation:
         source.detach(vm.vm_id)
         vm.become_full_at(destination_id)
         destination.attach(vm)
+        self._sync_vm_index(vm)
         old_home.remove_served_image(vm.vm_id)
-        start, end = self.scheduler.reserve(
-            [("nic", source.host_id)],
+        start, end = self.scheduler.reserve_one(
+            ("nic", source.host_id),
             now,
             self.config.costs.full_migration_s,
             occupancy_s=self.config.costs.full_occupancy_s,
@@ -517,6 +659,7 @@ class FarmSimulation:
         )
         self._close_episode(vm.vm_id)
         self._settles_at[vm.vm_id] = end
+        heappush(self._settle_heap, (end, vm.vm_id))
         self.result.counters.rehomings += 1
         self._consider_suspend(source)
         self._refresh_power(source)
@@ -545,30 +688,44 @@ class FarmSimulation:
             return self._reroute_after_wake_failure(trigger, now)
         self.scheduler.extend(("nic", home.host_id), ready)
         trigger_end: Optional[float] = None
+        trigger_id = trigger.vm_id
         returning = sorted(
             home.served_image_ids,
-            key=lambda vid: (vid != trigger.vm_id, vid),
+            key=lambda vid: (vid != trigger_id, vid),
         )
+        costs = self.config.costs
+        reintegration_s = costs.reintegration_s
+        reintegration_occupancy_s = costs.reintegration_occupancy_s
+        sample_reintegration_mib = costs.sample_reintegration_mib
+        traffic_rng = self._traffic_rng
+        vms = self.vms
+        hostof = self.cluster.host
+        reserve_one = self.scheduler.reserve_one
+        settles = self._settles_at
+        settle_heap = self._settle_heap
+        traffic_add = self.result.traffic.add
+        counters = self.result.counters
+        dirty_add = self._power_dirty.add
+        migration_abort = self._injector.migration_abort
+        home_nic = ("nic", home.host_id)
         for vm_id in returning:
-            vm = self.vms[vm_id]
-            if not home.can_fit(vm.memory_mib):
+            vm = vms[vm_id]
+            if vm.memory_mib > home.capacity_mib - home._used_mib + 1e-9:
                 # Foreign re-homed VMs may crowd the host; leave the
                 # stragglers consolidated rather than over-commit.
                 continue
             if not fault_exempt:
-                fraction = self._injector.migration_abort()
+                fraction = migration_abort()
                 if fraction is not None:
                     self._charge_aborted_attempt(
-                        vm_id, [("nic", home.host_id)], now,
-                        self.config.costs.reintegration_s,
-                        self.config.costs.reintegration_occupancy_s,
+                        vm_id, [home_nic], now,
+                        reintegration_s,
+                        reintegration_occupancy_s,
                         TrafficCategory.REINTEGRATION,
-                        self.config.costs.sample_reintegration_mib(
-                            self._traffic_rng
-                        ),
+                        sample_reintegration_mib(traffic_rng),
                         fraction,
                     )
-                    if vm_id != trigger.vm_id:
+                    if vm_id != trigger_id:
                         # Stays consolidated; its image is still served,
                         # so a later activation or pass recovers it.
                         continue
@@ -577,40 +734,38 @@ class FarmSimulation:
                     # aborted attempt via the settle mark).
                     self.faults.migration_retries += 1
                     self._trace_fault("fault.migration_retry", vm=vm_id)
-            source = self.cluster.host(vm.host_id)
+            source = hostof(vm.host_id)
             # Reintegrations queue on the woken home's NIC: a resume
             # storm of many VMs returning to one host is what produces
             # the Figure 11 tail.
-            start, end = self.scheduler.reserve(
-                [("nic", home.host_id)],
+            start, end = reserve_one(
+                home_nic,
                 now,
-                self.config.costs.reintegration_s,
-                occupancy_s=self.config.costs.reintegration_occupancy_s,
-                not_before=self._settles_at.get(vm_id, 0.0),
+                reintegration_s,
+                occupancy_s=reintegration_occupancy_s,
+                not_before=settles.get(vm_id, 0.0),
             )
             source.detach(vm_id)
             vm.reintegrate()
             home.attach(vm)
+            self._sync_vm_index(vm)
             home.remove_served_image(vm_id)
-            reintegration_mib = self.config.costs.sample_reintegration_mib(
-                self._traffic_rng
-            )
-            self.result.traffic.add(
-                TrafficCategory.REINTEGRATION, reintegration_mib
-            )
+            reintegration_mib = sample_reintegration_mib(traffic_rng)
+            traffic_add(TrafficCategory.REINTEGRATION, reintegration_mib)
             self._trace_migration(
                 "reintegration", vm_id, source.host_id, home.host_id,
                 reintegration_mib, start, end,
             )
             self._close_episode(vm_id)
-            self._settles_at[vm_id] = end
-            self.result.counters.reintegrations += 1
-            if vm_id == trigger.vm_id:
+            settles[vm_id] = end
+            heappush(settle_heap, (end, vm_id))
+            counters.reintegrations += 1
+            if vm_id == trigger_id:
                 trigger_end = end
             self._consider_suspend(source)
-            self._refresh_power(source)
+            dirty_add(source.host_id)
         self._return_full_vms_home(home, now, fault_exempt=fault_exempt)
-        self._refresh_power(home)
+        dirty_add(home.host_id)
         if trigger_end is None:
             # The trigger could not fit back home (pathological crowding);
             # its delay is at least the wake plus one reintegration.
@@ -648,50 +803,67 @@ class FarmSimulation:
     ) -> None:
         """Migrate full VMs originally homed at ``home`` back to it,
         freeing consolidation-host capacity (§3.2)."""
-        for vm in self.vms.values():
-            if (
-                vm.origin_home_id != home.host_id
-                or vm.host_id == home.host_id
-                or vm.residency is not Residency.FULL
-            ):
+        home_id = home.host_id
+        bucket = self._away_full.get(home_id)
+        if not bucket:
+            return
+        costs = self.config.costs
+        full_migration_s = costs.full_migration_s
+        full_occupancy_s = costs.full_occupancy_s
+        vms = self.vms
+        hostof = self.cluster.host
+        reserve_one = self.scheduler.reserve_one
+        settles = self._settles_at
+        settle_heap = self._settle_heap
+        traffic_add = self.result.traffic.add
+        counters = self.result.counters
+        dirty_add = self._power_dirty.add
+        migration_abort = self._injector.migration_abort
+        full = Residency.FULL
+        # The sorted away-full index visits the same VMs in the same
+        # ascending-vm_id order as the full rescan it replaces, so the
+        # can_fit/break sequencing (and hence RNG draws) is unchanged.
+        for vm_id in sorted(bucket):
+            vm = vms[vm_id]
+            if vm.host_id == home_id or vm.residency is not full:
                 continue
-            if not home.can_fit(vm.memory_mib):
+            if vm.memory_mib > home.capacity_mib - home._used_mib + 1e-9:
                 break
-            source = self.cluster.host(vm.host_id)
+            source = hostof(vm.host_id)
             if not fault_exempt:
-                fraction = self._injector.migration_abort()
+                fraction = migration_abort()
                 if fraction is not None:
                     # Rolled back: the VM stays full where it is; the
                     # next wake of this home retries the return.
                     self._charge_aborted_attempt(
-                        vm.vm_id, [("nic", source.host_id)], now,
-                        self.config.costs.full_migration_s,
-                        self.config.costs.full_occupancy_s,
+                        vm_id, [("nic", source.host_id)], now,
+                        full_migration_s,
+                        full_occupancy_s,
                         TrafficCategory.FULL_MIGRATION, vm.memory_mib,
                         fraction,
                     )
                     continue
-            start, end = self.scheduler.reserve(
-                [("nic", source.host_id)],
+            start, end = reserve_one(
+                ("nic", source.host_id),
                 now,
-                self.config.costs.full_migration_s,
-                occupancy_s=self.config.costs.full_occupancy_s,
-                not_before=self._settles_at.get(vm.vm_id, 0.0),
+                full_migration_s,
+                occupancy_s=full_occupancy_s,
+                not_before=settles.get(vm_id, 0.0),
             )
-            source.detach(vm.vm_id)
-            vm.full_migrate(home.host_id)
+            source.detach(vm_id)
+            vm.full_migrate(home_id)
             home.attach(vm)
-            self.result.traffic.add(
-                TrafficCategory.FULL_MIGRATION, vm.memory_mib
-            )
+            self._sync_vm_index(vm)
+            traffic_add(TrafficCategory.FULL_MIGRATION, vm.memory_mib)
             self._trace_migration(
-                "return_home", vm.vm_id, source.host_id, home.host_id,
+                "return_home", vm_id, source.host_id, home_id,
                 vm.memory_mib, start, end,
             )
-            self._settles_at[vm.vm_id] = end
-            self.result.counters.full_migrations += 1
+            settles[vm_id] = end
+            heappush(settle_heap, (end, vm_id))
+            counters.full_migrations += 1
             self._consider_suspend(source)
-            self._refresh_power(source)
+            dirty_add(source.host_id)
 
     # ------------------------------------------------------------------
     # planning execution
@@ -701,6 +873,7 @@ class FarmSimulation:
         vm = self.vms[plan.vm_id]
         home = self.cluster.host(plan.origin_home_id)
         consolidation = self.cluster.host(plan.consolidation_host_id)
+        costs = self.config.costs
         if not home.can_fit(vm.memory_mib):
             return  # crowded by foreign VMs; skip this exchange
         home_had_vms = home.vm_count > 0 and home.is_powered
@@ -715,8 +888,8 @@ class FarmSimulation:
             # exchange is dropped; a later planning pass retries.
             self._charge_aborted_attempt(
                 vm.vm_id, [("nic", consolidation.host_id)], now,
-                self.config.costs.full_migration_s,
-                self.config.costs.full_occupancy_s,
+                costs.full_migration_s,
+                costs.full_occupancy_s,
                 TrafficCategory.FULL_MIGRATION, vm.memory_mib, fraction,
             )
             self._refresh_power(home)
@@ -724,11 +897,11 @@ class FarmSimulation:
 
         # Leg 1: full migration back to the origin home (serialized on
         # the sending consolidation host's NIC).
-        start_full, end_full = self.scheduler.reserve(
-            [("nic", consolidation.host_id)],
+        start_full, end_full = self.scheduler.reserve_one(
+            ("nic", consolidation.host_id),
             now,
-            self.config.costs.full_migration_s,
-            occupancy_s=self.config.costs.full_occupancy_s,
+            costs.full_migration_s,
+            occupancy_s=costs.full_occupancy_s,
             not_before=max(
                 self._settles_at.get(vm.vm_id, 0.0), ready
             ),
@@ -736,6 +909,7 @@ class FarmSimulation:
         consolidation.detach(vm.vm_id)
         vm.full_migrate(home.host_id)
         home.attach(vm)
+        self._sync_vm_index(vm)
         self.result.traffic.add(TrafficCategory.FULL_MIGRATION, vm.memory_mib)
         self._trace_migration(
             "exchange_full", vm.vm_id, consolidation.host_id, home.host_id,
@@ -743,6 +917,7 @@ class FarmSimulation:
         )
         self.result.counters.full_migrations += 1
         self._settles_at[vm.vm_id] = end_full
+        heappush(self._settle_heap, (end_full, vm.vm_id))
 
         if not home_had_vms:
             fraction = self._injector.migration_abort()
@@ -751,10 +926,10 @@ class FarmSimulation:
                 # its home, which therefore cannot sleep this round.
                 self._charge_aborted_attempt(
                     vm.vm_id, [("sas", home.host_id)], now,
-                    self.config.costs.partial_migration_s,
-                    self.config.costs.partial_occupancy_s,
+                    costs.partial_migration_s,
+                    costs.partial_occupancy_s,
                     TrafficCategory.MEMORY_UPLOAD_SAS,
-                    self.config.costs.sample_sas_upload_mib(
+                    costs.sample_sas_upload_mib(
                         self._traffic_rng
                     ),
                     fraction,
@@ -765,16 +940,17 @@ class FarmSimulation:
                 return
             # Leg 2: immediately re-consolidate as a partial VM so the
             # home can go back to sleep.
-            start_partial, end_partial = self.scheduler.reserve(
-                [("sas", home.host_id)],
+            start_partial, end_partial = self.scheduler.reserve_one(
+                ("sas", home.host_id),
                 now,
-                self.config.costs.partial_migration_s,
-                occupancy_s=self.config.costs.partial_occupancy_s,
+                costs.partial_migration_s,
+                occupancy_s=costs.partial_occupancy_s,
                 not_before=end_full,
             )
             home.detach(vm.vm_id)
             vm.become_partial(consolidation.host_id, plan.working_set_mib)
             consolidation.attach(vm)
+            self._sync_vm_index(vm)
             home.add_served_image(vm.vm_id)
             partial_mib = self._record_partial_traffic()
             self._trace_migration(
@@ -784,6 +960,7 @@ class FarmSimulation:
             )
             self._episode_open.add(vm.vm_id)
             self._settles_at[vm.vm_id] = end_partial
+            heappush(self._settle_heap, (end_partial, vm.vm_id))
             self.result.counters.partial_migrations += 1
             self._consider_suspend(home)
         # If the home was already awake running VMs, the returned full VM
@@ -803,19 +980,35 @@ class FarmSimulation:
     def _execute_compaction(self, plan: HostVacatePlan, now: float) -> None:
         """Empty one consolidation host into its powered peers."""
         source = self.cluster.host(plan.host_id)
+        source_id = source.host_id
         costs = self.config.costs
+        partial_relocation_s = costs.partial_relocation_s
+        relocation_occupancy_s = costs.relocation_occupancy_s
+        full_migration_s = costs.full_migration_s
+        full_occupancy_s = costs.full_occupancy_s
+        vms = self.vms
+        hostof = self.cluster.host
+        reserve_one = self.scheduler.reserve_one
+        settles = self._settles_at
+        settle_heap = self._settle_heap
+        counters = self.result.counters
+        dirty_add = self._power_dirty.add
+        migration_abort = self._injector.migration_abort
+        partial_mode = MigrationMode.PARTIAL
+        source_nic = ("nic", source_id)
         for migration in plan.migrations:
-            vm = self.vms[migration.vm_id]
-            destination = self.cluster.host(migration.destination_id)
-            fraction = self._injector.migration_abort()
+            vm = vms[migration.vm_id]
+            vm_id = vm.vm_id
+            destination = hostof(migration.destination_id)
+            fraction = migration_abort()
             if fraction is not None:
                 # Rolled back: the VM stays put; the host simply is not
                 # emptied this round and a later pass retries.
-                if migration.mode is MigrationMode.PARTIAL:
+                if migration.mode is partial_mode:
                     self._charge_aborted_attempt(
-                        vm.vm_id, [("nic", source.host_id)], now,
-                        costs.partial_relocation_s,
-                        costs.relocation_occupancy_s,
+                        vm_id, [source_nic], now,
+                        partial_relocation_s,
+                        relocation_occupancy_s,
                         TrafficCategory.PARTIAL_DESCRIPTOR,
                         costs.sample_descriptor_mib(self._traffic_rng)
                         + (vm.working_set_mib or 0.0),
@@ -823,24 +1016,25 @@ class FarmSimulation:
                     )
                 else:
                     self._charge_aborted_attempt(
-                        vm.vm_id, [("nic", source.host_id)], now,
-                        costs.full_migration_s,
-                        costs.full_occupancy_s,
+                        vm_id, [source_nic], now,
+                        full_migration_s,
+                        full_occupancy_s,
                         TrafficCategory.FULL_MIGRATION, vm.memory_mib,
                         fraction,
                     )
                 continue
-            if migration.mode is MigrationMode.PARTIAL:
-                start, end = self.scheduler.reserve(
-                    [("nic", source.host_id)],
+            if migration.mode is partial_mode:
+                start, end = reserve_one(
+                    source_nic,
                     now,
-                    costs.partial_relocation_s,
-                    occupancy_s=costs.relocation_occupancy_s,
-                    not_before=self._settles_at.get(vm.vm_id, 0.0),
+                    partial_relocation_s,
+                    occupancy_s=relocation_occupancy_s,
+                    not_before=settles.get(vm_id, 0.0),
                 )
-                source.detach(vm.vm_id)
+                source.detach(vm_id)
                 vm.relocate_partial(destination.host_id)
                 destination.attach(vm)
+                self._sync_vm_index(vm)
                 # Only the descriptor and resident pages cross the wire;
                 # the memory image stays at the home's memory server.
                 relocation_mib = (
@@ -851,125 +1045,157 @@ class FarmSimulation:
                     TrafficCategory.PARTIAL_DESCRIPTOR, relocation_mib
                 )
                 self._trace_migration(
-                    "relocate_partial", vm.vm_id, source.host_id,
+                    "relocate_partial", vm_id, source_id,
                     destination.host_id, relocation_mib, start, end,
                 )
-                self.result.counters.partial_relocations += 1
+                counters.partial_relocations += 1
             else:
-                start, end = self.scheduler.reserve(
-                    [("nic", source.host_id)],
+                start, end = reserve_one(
+                    source_nic,
                     now,
-                    costs.full_migration_s,
-                    occupancy_s=costs.full_occupancy_s,
-                    not_before=self._settles_at.get(vm.vm_id, 0.0),
+                    full_migration_s,
+                    occupancy_s=full_occupancy_s,
+                    not_before=settles.get(vm_id, 0.0),
                 )
-                source.detach(vm.vm_id)
+                source.detach(vm_id)
                 vm.full_migrate(destination.host_id)
                 destination.attach(vm)
+                self._sync_vm_index(vm)
                 self.result.traffic.add(
                     TrafficCategory.FULL_MIGRATION, vm.memory_mib
                 )
                 self._trace_migration(
-                    "compact_full", vm.vm_id, source.host_id,
+                    "compact_full", vm_id, source_id,
                     destination.host_id, vm.memory_mib, start, end,
                 )
-                self.result.counters.full_migrations += 1
-            self._settles_at[vm.vm_id] = end
-            self._refresh_power(destination)
-        self._refresh_power(source)
+                counters.full_migrations += 1
+            settles[vm_id] = end
+            heappush(settle_heap, (end, vm_id))
+            dirty_add(destination.host_id)
+        dirty_add(source_id)
         self._consider_suspend(source)
 
     def _execute_vacation(self, vacation: HostVacatePlan, now: float) -> None:
         source = self.cluster.host(vacation.host_id)
+        source_id = source.host_id
+        costs = self.config.costs
+        partial_migration_s = costs.partial_migration_s
+        partial_occupancy_s = costs.partial_occupancy_s
+        full_migration_s = costs.full_migration_s
+        full_occupancy_s = costs.full_occupancy_s
+        vms = self.vms
+        hostof = self.cluster.host
+        reserve_one = self.scheduler.reserve_one
+        settles = self._settles_at
+        settle_heap = self._settle_heap
+        counters = self.result.counters
+        dirty_add = self._power_dirty.add
+        migration_abort = self._injector.migration_abort
+        partial_mode = MigrationMode.PARTIAL
+        powered = PowerState.POWERED
+        source_sas = ("sas", source_id)
+        source_nic = ("nic", source_id)
         for migration in vacation.migrations:
-            vm = self.vms[migration.vm_id]
-            destination = self.cluster.host(migration.destination_id)
+            vm = vms[migration.vm_id]
+            vm_id = vm.vm_id
+            destination = hostof(migration.destination_id)
             dest_ready = now
-            if not destination.is_powered:
+            if destination._power_state is not powered:
                 woke = self._wake_host(destination)
                 if woke is None:
                     continue  # destination will not wake; VM stays put
                 dest_ready = woke
-            fraction = self._injector.migration_abort()
+            fraction = migration_abort()
             if fraction is not None:
                 # Rolled back: the VM stays on the source host, which
                 # therefore cannot be vacated this round.
-                if migration.mode is MigrationMode.PARTIAL:
+                if migration.mode is partial_mode:
                     self._charge_aborted_attempt(
-                        vm.vm_id, [("sas", source.host_id)], now,
-                        self.config.costs.partial_migration_s,
-                        self.config.costs.partial_occupancy_s,
+                        vm_id, [source_sas], now,
+                        partial_migration_s,
+                        partial_occupancy_s,
                         TrafficCategory.MEMORY_UPLOAD_SAS,
-                        self.config.costs.sample_sas_upload_mib(
-                            self._traffic_rng
-                        ),
+                        costs.sample_sas_upload_mib(self._traffic_rng),
                         fraction,
                     )
                 else:
                     self._charge_aborted_attempt(
-                        vm.vm_id, [("nic", source.host_id)], now,
-                        self.config.costs.full_migration_s,
-                        self.config.costs.full_occupancy_s,
+                        vm_id, [source_nic], now,
+                        full_migration_s,
+                        full_occupancy_s,
                         TrafficCategory.FULL_MIGRATION, vm.memory_mib,
                         fraction,
                     )
                 continue
-            if migration.mode is MigrationMode.PARTIAL:
+            if migration.mode is partial_mode:
                 # The SAS upload serializes on the source; the small
                 # descriptor push does not tie up the destination.
-                start, end = self.scheduler.reserve(
-                    [("sas", source.host_id)],
+                start, end = reserve_one(
+                    source_sas,
                     now,
-                    self.config.costs.partial_migration_s,
-                    occupancy_s=self.config.costs.partial_occupancy_s,
+                    partial_migration_s,
+                    occupancy_s=partial_occupancy_s,
                 )
-                source.detach(vm.vm_id)
+                source.detach(vm_id)
                 vm.become_partial(
                     destination.host_id, migration.working_set_mib
                 )
                 destination.attach(vm)
-                source.add_served_image(vm.vm_id)
+                self._sync_vm_index(vm)
+                source.add_served_image(vm_id)
                 partial_mib = self._record_partial_traffic()
                 self._trace_migration(
-                    "vacate_partial", vm.vm_id, source.host_id,
+                    "vacate_partial", vm_id, source_id,
                     destination.host_id, partial_mib, start, end,
                 )
-                self._episode_open.add(vm.vm_id)
-                self.result.counters.partial_migrations += 1
+                self._episode_open.add(vm_id)
+                counters.partial_migrations += 1
             else:
-                start, end = self.scheduler.reserve(
-                    [("nic", source.host_id)],
+                start, end = reserve_one(
+                    source_nic,
                     now,
-                    self.config.costs.full_migration_s,
-                    occupancy_s=self.config.costs.full_occupancy_s,
+                    full_migration_s,
+                    occupancy_s=full_occupancy_s,
                 )
-                source.detach(vm.vm_id)
+                source.detach(vm_id)
                 vm.full_migrate(destination.host_id)
                 destination.attach(vm)
+                self._sync_vm_index(vm)
                 self.result.traffic.add(
                     TrafficCategory.FULL_MIGRATION, vm.memory_mib
                 )
                 self._trace_migration(
-                    "vacate_full", vm.vm_id, source.host_id,
+                    "vacate_full", vm_id, source_id,
                     destination.host_id, vm.memory_mib, start, end,
                 )
-                self.result.counters.full_migrations += 1
-            self._settles_at[vm.vm_id] = max(end, dest_ready)
-            self._refresh_power(destination)
-        self._refresh_power(source)
+                counters.full_migrations += 1
+            settle = end if end >= dest_ready else dest_ready
+            settles[vm_id] = settle
+            heappush(settle_heap, (settle, vm_id))
+            dirty_add(destination.host_id)
+        dirty_add(source_id)
         self._consider_suspend(source)
 
     def _record_partial_traffic(self) -> float:
-        """Charge one partial migration's traffic; returns its total MiB."""
+        """Charge one partial migration's traffic; returns its total MiB.
+
+        Writes the ledger's backing lists directly: the sampled volumes
+        are floored at a tenth of their (positive) means, so the
+        ``add`` negativity check can never fire here.
+        """
+        rng = self._traffic_rng
         costs = self.config.costs
-        descriptor_mib = costs.sample_descriptor_mib(self._traffic_rng)
-        upload_mib = costs.sample_sas_upload_mib(self._traffic_rng)
-        self.result.traffic.add(
-            TrafficCategory.PARTIAL_DESCRIPTOR, descriptor_mib
-        )
-        self.result.traffic.add(
-            TrafficCategory.MEMORY_UPLOAD_SAS, upload_mib
-        )
+        descriptor_mib = costs.sample_descriptor_mib(rng)
+        upload_mib = costs.sample_sas_upload_mib(rng)
+        ledger = self.result.traffic
+        mib = ledger._mib
+        events = ledger._events
+        index = TrafficCategory.PARTIAL_DESCRIPTOR.ledger_index
+        mib[index] += descriptor_mib
+        events[index] += 1
+        index = TrafficCategory.MEMORY_UPLOAD_SAS.ledger_index
+        mib[index] += upload_mib
+        events[index] += 1
         return descriptor_mib + upload_mib
 
     def _close_episode(self, vm_id: int) -> None:
@@ -984,9 +1210,10 @@ class FarmSimulation:
             demand_mib = self.config.costs.sample_on_demand_mib(
                 self._traffic_rng
             )
-            self.result.traffic.add(
-                TrafficCategory.ON_DEMAND_PAGES, demand_mib
-            )
+            ledger = self.result.traffic
+            index = TrafficCategory.ON_DEMAND_PAGES.ledger_index
+            ledger._mib[index] += demand_mib
+            ledger._events[index] += 1
             if self.tracer.enabled:
                 self.tracer.observe(
                     "pages_fetched", demand_mib * KIB_PER_MIB / PAGE_SIZE_KIB
@@ -1037,6 +1264,7 @@ class FarmSimulation:
             "fault.migration_rollback", vm=vm_id, mib=mib, fraction=fraction
         )
         self._settles_at[vm_id] = end
+        heappush(self._settle_heap, (end, vm_id))
         return end
 
     # ------------------------------------------------------------------
@@ -1211,6 +1439,7 @@ class FarmSimulation:
         host.begin_resume()
         self._transition_done[host_id] = done
         self._note_power_state(host)
+        self._flush_power()
 
     def _fail_resume_attempt(self, host_id: int, last: bool) -> None:
         """One attempt of a faulty wake chain fails back to sleep."""
@@ -1222,6 +1451,7 @@ class FarmSimulation:
             # the host is plain asleep again and new wakes start fresh.
             del self._wake_pending[host_id]
             self._wake_chain_ends.pop(host_id, None)
+        self._flush_power()
 
     def _memserver_crash(self, host_id: int) -> None:
         """A scheduled memory-server crash fires (fault plan).
@@ -1246,6 +1476,7 @@ class FarmSimulation:
         host.fail_memory_server()
         self._refresh_power(host)
         if host.served_image_count == 0:
+            self._flush_power()
             return
         self.faults.crash_forced_wakeups += 1
         trigger = self.vms[min(host.served_image_ids)]
@@ -1258,6 +1489,7 @@ class FarmSimulation:
         self._trace_fault(
             "fault.crash_forced_wakeup", host=host_id, reintegrations=rescued
         )
+        self._flush_power()
 
     def _count_wakeup(self, host: Host) -> None:
         if host.role is HostRole.COMPUTE:
@@ -1274,6 +1506,7 @@ class FarmSimulation:
         self._wake_pending.pop(host_id, None)
         self._wake_chain_ends.pop(host_id, None)
         self._note_power_state(host)
+        self._flush_power()
 
     def _consider_suspend(self, host: Host) -> None:
         """Schedule a guarded suspend once the host drains its queue."""
@@ -1306,6 +1539,7 @@ class FarmSimulation:
             done, self._complete_suspend, host_id,
             label=f"suspend-done-{host_id}",
         )
+        self._flush_power()
 
     def _complete_suspend(self, host_id: int) -> None:
         host = self.cluster.host(host_id)
@@ -1321,6 +1555,7 @@ class FarmSimulation:
                 done, self._complete_resume, host_id,
                 label=f"resume-{host_id}",
             )
+        self._flush_power()
 
     def _note_power_state(self, host: Host) -> None:
         self.tracker.set_state(
@@ -1361,33 +1596,65 @@ class FarmSimulation:
     # ------------------------------------------------------------------
 
     def _refresh_power(self, host: Host) -> None:
-        profile = self.config.host_power
+        """Mark ``host`` for a power re-evaluation at callback exit.
+
+        Within one event callback every mutation happens at the same
+        simulated instant, and the accountant closes the running energy
+        period with the *previously stored* watts; intermediate same-
+        timestamp updates therefore contribute ``(now - now) * w = +0.0``
+        joules and only the last value matters.  Deferring to a single
+        :meth:`_flush_power` per dirty host at the end of each top-level
+        callback is byte-identical to eager refreshing and collapses the
+        duplicate work of migration bursts.
+        """
+        self._power_dirty.add(host.host_id)
+
+    def _flush_power(self) -> None:
+        """Re-evaluate every dirty host's power draw (sorted, then clear)."""
+        dirty = self._power_dirty
+        if not dirty:
+            return
+        host = self.cluster.host
+        for host_id in sorted(dirty):
+            self._refresh_power_now(host(host_id))
+        dirty.clear()
+
+    def _refresh_power_now(self, host: Host) -> None:
         state = host.power_state
         if state is PowerState.POWERED:
-            watts = profile.powered_watts(
-                full_vms=host.full_vm_count,
-                active_vms=(
-                    host.active_vm_count
-                    if profile.per_active_vm_extra_w > 0.0
-                    else 0
-                ),
-                partial_resident_fraction=host.partial_resident_fraction,
-            )
+            if self._powered_fast:
+                # Inlined powered_watts with a zero per-active-VM term:
+                # idle + per_vm * (full + partial_fraction).  Adding the
+                # absent `extra * 0` term would contribute exactly +0.0,
+                # so this is byte-identical to the profile call.
+                watts = self._power_idle_w + self._power_per_vm_w * (
+                    host._full_count + host._partial_fraction
+                )
+            else:
+                profile = self._host_power
+                watts = profile.powered_watts(
+                    full_vms=host.full_vm_count,
+                    active_vms=host.active_vm_count,
+                    partial_resident_fraction=host.partial_resident_fraction,
+                )
         elif state is PowerState.SUSPENDING:
-            watts = profile.suspend_w
+            watts = self._host_power.suspend_w
         elif state is PowerState.RESUMING:
-            watts = profile.resume_w
+            watts = self._host_power.resume_w
         else:  # SLEEPING
-            watts = profile.sleep_w
+            served_w = self._sleep_served_w
             if (
-                host.memory_server_enabled
-                and self.config.memory_server_present
+                served_w is not None
+                and host.memory_server_enabled
                 and not host.memory_server_failed
             ):
-                watts += self.config.memory_server.total_w
+                watts = served_w
+            else:
+                watts = self._host_power.sleep_w
         self.accountant.set_power(host.host_id, watts, self.sim.now)
 
     def _finalize(self) -> None:
+        self._flush_power()
         horizon = SECONDS_PER_DAY
         for vm_id in list(self._episode_open):
             self._close_episode(vm_id)

@@ -72,16 +72,55 @@ class HostBusyScheduler:
             raise SimulationError(f"latency must be >= 0, got {latency_s}")
         if occupancy_s is None:
             occupancy_s = latency_s
-        if occupancy_s < 0.0:
+        elif occupancy_s < 0.0:
             raise SimulationError(f"occupancy must be >= 0, got {occupancy_s}")
+        busy = self._busy_until
+        release = self._release_after
         ids = list(host_ids)
-        start = self.earliest_start(ids, max(now, not_before))
+        start = now if now >= not_before else not_before
+        for host_id in ids:
+            horizon = busy.get(host_id, 0.0)
+            if horizon > start:
+                start = horizon
         end = start + latency_s
         busy_end = start + occupancy_s
         for host_id in ids:
-            self._busy_until[host_id] = busy_end
-            if end > self._release_after.get(host_id, 0.0):
-                self._release_after[host_id] = end
+            busy[host_id] = busy_end
+            if end > release.get(host_id, 0.0):
+                release[host_id] = end
+        return start, end
+
+    def reserve_one(
+        self,
+        host_id: Hashable,
+        now: float,
+        latency_s: float,
+        occupancy_s: Optional[float] = None,
+        not_before: float = 0.0,
+    ) -> Tuple[float, float]:
+        """:meth:`reserve` specialized to a single resource.
+
+        Every simulation-engine reservation involves exactly one
+        bottleneck resource; this path skips the list copy and the
+        per-id loops.  Arithmetic and horizon updates are identical to
+        ``reserve([host_id], ...)``.
+        """
+        if latency_s < 0.0:
+            raise SimulationError(f"latency must be >= 0, got {latency_s}")
+        if occupancy_s is None:
+            occupancy_s = latency_s
+        elif occupancy_s < 0.0:
+            raise SimulationError(f"occupancy must be >= 0, got {occupancy_s}")
+        busy = self._busy_until
+        start = now if now >= not_before else not_before
+        horizon = busy.get(host_id, 0.0)
+        if horizon > start:
+            start = horizon
+        end = start + latency_s
+        busy[host_id] = start + occupancy_s
+        release = self._release_after
+        if end > release.get(host_id, 0.0):
+            release[host_id] = end
         return start, end
 
     def extend(self, host_id: Hashable, until: float) -> None:

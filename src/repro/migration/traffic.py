@@ -9,7 +9,7 @@ Figure 10's breakdown excludes it.
 from __future__ import annotations
 
 import enum
-from typing import Dict
+from typing import Dict, List
 
 from repro.errors import ConfigError
 
@@ -47,67 +47,84 @@ class TrafficCategory(enum.Enum):
         )
 
 
+# Dense position of each member in definition order.  The ledger's hot
+# ``add`` path indexes flat lists with it, replacing two enum hashes per
+# recorded transfer with plain list indexing.
+for _index, _category in enumerate(TrafficCategory):
+    _category.ledger_index = _index
+del _index, _category
+
+_CATEGORIES = tuple(TrafficCategory)
+
+
 class TrafficLedger:
-    """Accumulates transfer volume (MiB) and event counts per category."""
+    """Accumulates transfer volume (MiB) and event counts per category.
+
+    Storage is a pair of flat lists indexed by ``ledger_index``; all
+    iteration (totals, ``as_dict``, ``merge``) walks the categories in
+    definition order, matching the dict-backed layout this replaces.
+    """
+
+    __slots__ = ("_mib", "_events")
 
     def __init__(self) -> None:
-        self._mib: Dict[TrafficCategory, float] = {
-            category: 0.0 for category in TrafficCategory
-        }
-        self._events: Dict[TrafficCategory, int] = {
-            category: 0 for category in TrafficCategory
-        }
+        self._mib: List[float] = [0.0] * len(_CATEGORIES)
+        self._events: List[int] = [0] * len(_CATEGORIES)
 
     def add(self, category: TrafficCategory, mib: float) -> None:
         """Record one transfer of ``mib`` MiB."""
         if mib < 0.0:
             raise ConfigError(f"traffic must be non-negative, got {mib}")
-        self._mib[category] += mib
-        self._events[category] += 1
+        index = category.ledger_index
+        self._mib[index] += mib
+        self._events[index] += 1
 
     def mib(self, category: TrafficCategory) -> float:
-        return self._mib[category]
+        return self._mib[category.ledger_index]
 
     def events(self, category: TrafficCategory) -> int:
-        return self._events[category]
+        return self._events[category.ledger_index]
 
     def network_total_mib(self) -> float:
         """All bytes that crossed the datacenter network."""
         return sum(
-            volume
-            for category, volume in self._mib.items()
+            self._mib[category.ledger_index]
+            for category in _CATEGORIES
             if category.is_network
         )
 
     def full_path_mib(self) -> float:
         """Traffic attributable to full migrations (incl. conversions)."""
         return (
-            self._mib[TrafficCategory.FULL_MIGRATION]
-            + self._mib[TrafficCategory.CONVERSION_PULL]
+            self._mib[TrafficCategory.FULL_MIGRATION.ledger_index]
+            + self._mib[TrafficCategory.CONVERSION_PULL.ledger_index]
         )
 
     def partial_path_mib(self) -> float:
         """Network traffic attributable to the partial-migration path."""
         return sum(
-            volume
-            for category, volume in self._mib.items()
+            self._mib[category.ledger_index]
+            for category in _CATEGORIES
             if category.is_partial_path and category.is_network
         )
 
     def as_dict(self) -> Dict[str, float]:
         """Volumes per category, keyed by category value (for reports)."""
-        return {category.value: volume for category, volume in self._mib.items()}
+        return {
+            category.value: self._mib[category.ledger_index]
+            for category in _CATEGORIES
+        }
 
     def merge(self, other: "TrafficLedger") -> None:
         """Fold another ledger's volumes and counts into this one."""
-        for category in TrafficCategory:
-            self._mib[category] += other._mib[category]
-            self._events[category] += other._events[category]
+        for index in range(len(_CATEGORIES)):
+            self._mib[index] += other._mib[index]
+            self._events[index] += other._events[index]
 
     def __repr__(self) -> str:
         parts = ", ".join(
-            f"{category.value}={volume:.0f}"
-            for category, volume in self._mib.items()
-            if volume > 0.0
+            f"{category.value}={self._mib[category.ledger_index]:.0f}"
+            for category in _CATEGORIES
+            if self._mib[category.ledger_index] > 0.0
         )
         return f"<TrafficLedger MiB: {parts or 'empty'}>"

@@ -3,12 +3,12 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.obs.events import CAT_SIM
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.simulator.events import EventHandle, ScheduledEvent
+from repro.simulator.events import EventHandle, LabelLike, ScheduledEvent
 
 
 class Simulator:
@@ -22,7 +22,13 @@ class Simulator:
     a ``sim.event`` span (labelled with the event's schedule label), so
     a recorded trace shows the kernel's dispatch timeline with each
     component's own events nested inside.  The default null tracer
-    reduces the hook to one attribute test per event.
+    reduces the hook to one attribute test per event.  Labels may be
+    given as zero-argument callables, which are only invoked when a
+    tracer actually consumes them — hot paths can schedule millions of
+    events without formatting a single label string.
+
+    The heap stores ``(time, seq, event)`` tuples so event ordering is
+    decided by C tuple comparison rather than a Python ``__lt__``.
 
     Example
     -------
@@ -39,7 +45,7 @@ class Simulator:
 
     def __init__(self, tracer: Optional[Tracer] = None) -> None:
         self._now = 0.0
-        self._heap: List[ScheduledEvent] = []
+        self._heap: List[Tuple[float, int, ScheduledEvent]] = []
         self._seq = 0
         self._fired = 0
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -52,7 +58,7 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of scheduled events that have not fired or been cancelled."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(1 for _, _, event in self._heap if not event.cancelled)
 
     @property
     def events_fired(self) -> int:
@@ -64,7 +70,7 @@ class Simulator:
         delay: float,
         callback: Callable[..., None],
         *args: Any,
-        label: str = "",
+        label: LabelLike = "",
     ) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
 
@@ -81,18 +87,19 @@ class Simulator:
         time: float,
         callback: Callable[..., None],
         *args: Any,
-        label: str = "",
+        label: LabelLike = "",
     ) -> EventHandle:
         """Schedule ``callback(*args)`` at an absolute simulation time."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time:.6f} s; clock is at {self._now:.6f} s"
             )
+        seq = self._seq
+        self._seq = seq + 1
         event = ScheduledEvent(
-            time=time, seq=self._seq, callback=callback, args=args, label=label
+            time=time, seq=seq, callback=callback, args=args, label=label
         )
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, seq, event))
         return EventHandle(event)
 
     def step(self) -> bool:
@@ -102,14 +109,14 @@ class Simulator:
         empty (cancelled events are discarded silently).
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
+            time, _, event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
-            self._now = event.time
+            self._now = time
             self._fired += 1
             if self.tracer.enabled:
                 with self.tracer.span(
-                    "sim.event", CAT_SIM, label=event.label
+                    "sim.event", CAT_SIM, label=event.resolved_label()
                 ):
                     event.callback(*event.args)
             else:
@@ -149,11 +156,11 @@ class Simulator:
             )
         fired = 0
         while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
+            head_time, _, head_event = self._heap[0]
+            if head_event.cancelled:
                 heapq.heappop(self._heap)
                 continue
-            if head.time > time:
+            if head_time > time:
                 break
             self.step()
             fired += 1

@@ -2,25 +2,62 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Tuple, Union
+
+#: A schedule label: a plain string, or a zero-argument callable that
+#: builds one.  Callables let hot paths defer (or entirely skip, when no
+#: tracer is attached) the cost of formatting per-event label strings.
+LabelLike = Union[str, Callable[[], str]]
 
 
-@dataclass(order=True)
 class ScheduledEvent:
     """A callback scheduled at an absolute simulation time.
 
     Events order by ``(time, seq)``; ``seq`` is a monotonically increasing
     tie-breaker so that events scheduled for the same instant fire in FIFO
     order.  The callback and its arguments do not participate in ordering.
+    (The kernel's heap stores ``(time, seq, event)`` tuples so ordering is
+    resolved by C tuple comparison; the ``__lt__`` here keeps direct
+    comparisons working for tests and external users.)
     """
 
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: Tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    label: str = field(compare=False, default="")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+        cancelled: bool = False,
+        label: LabelLike = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+        self.label = label
+
+    def resolved_label(self) -> str:
+        """The label string, building it now if it was given lazily."""
+        label = self.label
+        return label() if callable(label) else label
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScheduledEvent):
+            return NotImplemented
+        return (self.time, self.seq) == (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScheduledEvent(time={self.time!r}, seq={self.seq!r}, "
+            f"callback={self.callback!r}, args={self.args!r}, "
+            f"cancelled={self.cancelled!r}, label={self.resolved_label()!r})"
+        )
 
 
 class EventHandle:
@@ -43,7 +80,7 @@ class EventHandle:
     @property
     def label(self) -> str:
         """Human-readable label given at scheduling time (may be empty)."""
-        return self._event.label
+        return self._event.resolved_label()
 
     @property
     def cancelled(self) -> bool:

@@ -16,6 +16,7 @@ researchers collected over four months (2086 user-days), resampled into
 """
 
 from repro.traces.model import DayType, UserDayTrace
+from repro.traces.edges import ActivityEdgeSchedule
 from repro.traces.generator import SyntheticTraceGenerator, TraceGeneratorConfig
 from repro.traces.sampler import TraceEnsemble, generate_ensemble
 from repro.traces.stats import EnsembleStats, compute_ensemble_stats
@@ -27,6 +28,7 @@ from repro.traces.io import (
 )
 
 __all__ = [
+    "ActivityEdgeSchedule",
     "DayType",
     "UserDayTrace",
     "SyntheticTraceGenerator",

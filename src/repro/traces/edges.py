@@ -1,0 +1,96 @@
+"""Activity edge compilation: turn interval traces into change events.
+
+The farm simulation's interval handler originally re-read every VM's
+activity bit every five simulated minutes — O(V) work per interval even
+when nobody's state changed.  An :class:`ActivityEdgeSchedule` compiles
+an ensemble once into the *transitions*: per VM, the intervals at which
+its activity flips, and per interval, the list of VMs that flip there.
+The interval handler then touches only the flipping VMs (O(edges) per
+interval); a typical user-day has a handful of active episodes, so the
+edge count is a small multiple of the VM count rather than ``V × 288``.
+
+Ordering contract (load-bearing for byte-identical replay): within each
+interval the edge list is in ascending ``vm_id`` order — exactly the
+order the eager per-VM scan visited newly-flipped VMs — so activation
+jitter draws and delay-sample appends replay in the historical order.
+Every trace implicitly starts idle (interval ``-1`` is inactive), which
+matches the simulation's initial VM state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.traces.model import UserDayTrace
+from repro.units import INTERVALS_PER_DAY
+
+__all__ = ["ActivityEdgeSchedule"]
+
+
+class ActivityEdgeSchedule:
+    """Compiled activity transitions for one aligned trace ensemble."""
+
+    __slots__ = ("vm_count", "by_interval", "by_vm")
+
+    def __init__(
+        self,
+        vm_count: int,
+        by_interval: List[List[Tuple[int, bool]]],
+        by_vm: List[Tuple[Tuple[int, bool], ...]],
+    ) -> None:
+        #: Number of VMs (traces) the schedule was compiled from.
+        self.vm_count = vm_count
+        #: ``by_interval[i]`` — ``(vm_id, active)`` flips at interval ``i``,
+        #: in ascending ``vm_id`` order.
+        self.by_interval = by_interval
+        #: ``by_vm[vm_id]`` — ``(interval, active)`` flips for one VM,
+        #: in ascending interval order.
+        self.by_vm = by_vm
+
+    @classmethod
+    def compile(
+        cls, traces: Iterable[UserDayTrace]
+    ) -> "ActivityEdgeSchedule":
+        """Compile an ensemble (or any iterable of aligned user-days).
+
+        The ``vm_id`` of each trace is its position in the iterable —
+        the same convention :class:`repro.farm.FarmSimulation` uses to
+        pair traces with VMs.
+        """
+        by_interval: List[List[Tuple[int, bool]]] = [
+            [] for _ in range(INTERVALS_PER_DAY)
+        ]
+        by_vm: List[Tuple[Tuple[int, bool], ...]] = []
+        vm_count = 0
+        for vm_id, trace in enumerate(traces):
+            vm_count += 1
+            vm_edges: List[Tuple[int, bool]] = []
+            previous = False
+            for index, active in enumerate(trace.intervals):
+                if active != previous:
+                    previous = active
+                    vm_edges.append((index, active))
+                    by_interval[index].append((vm_id, active))
+            by_vm.append(tuple(vm_edges))
+        return cls(vm_count, by_interval, by_vm)
+
+    @property
+    def edge_count(self) -> int:
+        """Total number of activity flips across the whole ensemble."""
+        return sum(len(edges) for edges in self.by_vm)
+
+    def activity_at(self, vm_id: int, index: int) -> bool:
+        """Reconstruct one VM's activity at ``index`` from its edges
+        (reference implementation for differential tests)."""
+        active = False
+        for edge_index, edge_active in self.by_vm[vm_id]:
+            if edge_index > index:
+                break
+            active = edge_active
+        return active
+
+    def __repr__(self) -> str:
+        return (
+            f"<ActivityEdgeSchedule vms={self.vm_count} "
+            f"edges={self.edge_count}>"
+        )

@@ -7,8 +7,8 @@ used by the prototype micro-benchmarks.
 """
 
 from repro.vm.state import Residency, VmActivity
-from repro.vm.machine import VirtualMachine
-from repro.vm.workingset import WorkingSetSampler
+from repro.vm.machine import IntervalClock, VirtualMachine
+from repro.vm.workingset import LazyWorkingSet, WorkingSetSampler
 from repro.vm.workload import (
     Application,
     Workload,
@@ -20,8 +20,10 @@ from repro.vm.workload import (
 __all__ = [
     "Residency",
     "VmActivity",
+    "IntervalClock",
     "VirtualMachine",
     "WorkingSetSampler",
+    "LazyWorkingSet",
     "Application",
     "Workload",
     "WORKLOAD_1",

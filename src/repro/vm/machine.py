@@ -25,6 +25,25 @@ from repro.units import DEFAULT_VM_MEMORY_MIB
 from repro.vm.state import Residency, VmActivity
 
 
+class IntervalClock:
+    """A shared trace-interval counter for lazy idle-streak tracking.
+
+    One clock is shared by every VM in a simulation; the interval driver
+    bumps ``index`` once per trace interval instead of touching every
+    VM.  ``index`` starts at ``-1`` ("before the first interval") so a
+    VM anchored at creation reads an idle streak of 0 until the first
+    interval is processed.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self) -> None:
+        self.index = -1
+
+    def __repr__(self) -> str:
+        return f"<IntervalClock index={self.index}>"
+
+
 class VirtualMachine:
     """One virtual machine in the simulated cluster."""
 
@@ -37,7 +56,9 @@ class VirtualMachine:
         "residency",
         "activity",
         "working_set_mib",
-        "idle_intervals",
+        "_idle_base",
+        "_idle_anchor",
+        "_interval_clock",
     )
 
     def __init__(
@@ -56,9 +77,9 @@ class VirtualMachine:
         self.residency = Residency.FULL
         self.activity = VmActivity.IDLE
         self.working_set_mib: Optional[float] = None
-        #: Consecutive trace intervals this VM has been idle (scheduler
-        #: hysteresis input).
-        self.idle_intervals = 0
+        self._idle_base = 0
+        self._idle_anchor: Optional[int] = None
+        self._interval_clock: Optional[IntervalClock] = None
 
     # -- queries --------------------------------------------------------
 
@@ -86,11 +107,61 @@ class VirtualMachine:
 
     # -- activity ----------------------------------------------------------
 
+    @property
+    def idle_intervals(self) -> int:
+        """Consecutive trace intervals this VM has been idle (scheduler
+        hysteresis input).
+
+        Clock-anchored VMs (see :meth:`track_idle_with`) derive the
+        streak from the shared interval clock, so a quiet VM's streak
+        grows without any per-interval work; otherwise the eagerly
+        maintained count is returned.
+        """
+        anchor = self._idle_anchor
+        if anchor is None:
+            return self._idle_base
+        return self._interval_clock.index - anchor + 1
+
+    @idle_intervals.setter
+    def idle_intervals(self, value: int) -> None:
+        self._idle_base = value
+        self._idle_anchor = None
+
+    def track_idle_with(self, clock: IntervalClock) -> None:
+        """Bind this (idle) VM's streak to a shared interval clock.
+
+        The streak becomes 1 at the clock's next interval and grows with
+        it — identical to calling ``set_activity(IDLE)`` once per
+        interval, without the per-interval call.
+        """
+        if self.activity is not VmActivity.IDLE:
+            raise MigrationError(
+                f"VM {self.vm_id} must be idle to anchor its idle streak"
+            )
+        self._interval_clock = clock
+        self._idle_anchor = clock.index + 1
+
+    def apply_activity_edge(self, active: bool) -> None:
+        """Apply one compiled activity flip at the clock's current interval.
+
+        Requires a bound clock (:meth:`track_idle_with`).  An idle flip
+        anchors the streak at the current interval (streak 1 now, +1 per
+        subsequent interval); an active flip zeroes it — byte-equivalent
+        to the eager :meth:`set_activity` sequence the flip replaces.
+        """
+        if active:
+            self.activity = VmActivity.ACTIVE
+            self._idle_anchor = None
+            self._idle_base = 0
+        else:
+            self.activity = VmActivity.IDLE
+            self._idle_anchor = self._interval_clock.index
+
     def set_activity(self, activity: VmActivity) -> None:
         """Update activity from the trace; maintains the idle-streak count."""
         if activity is VmActivity.IDLE:
             if self.activity is VmActivity.IDLE:
-                self.idle_intervals += 1
+                self.idle_intervals = self.idle_intervals + 1
             else:
                 self.idle_intervals = 1
         else:
