@@ -15,8 +15,16 @@ This package turns those conventions into machine-checked rules:
 * ``API1xx`` — every ``__all__`` entry resolves and every public
   ``__init__`` symbol is exported exactly once.
 
+Cross-module properties the per-file packs cannot see are proven by the
+whole-program packs in :mod:`repro.checkers.flow` (run with
+``--project``): RNG-stream attribution through the call graph
+(``FLOW1xx``), index-write encapsulation (``ENC2xx``), and trace purity
+(``TRC3xx``), with a content-hash summary cache and a reviewed
+``flow-baseline.json``.
+
 Run it with ``python -m repro.checkers [paths]``; suppress one finding
-with a ``# repro: noqa[RULE]`` comment on the flagged line.
+with a ``# repro: noqa[RULE]`` comment on the flagged line, or a whole
+file with ``# repro: noqa-file[RULE]``.
 """
 
 from repro.checkers.base import (

@@ -8,7 +8,12 @@ from typing import Iterable, List, Optional, Sequence, Type
 
 from repro.checkers.base import ModuleContext, Rule, all_rules
 from repro.checkers.findings import Finding
-from repro.checkers.suppress import collect_suppressions, is_suppressed
+from repro.checkers.suppress import (
+    collect_file_suppressions,
+    collect_suppressions,
+    is_file_suppressed,
+    is_suppressed,
+)
 
 # Importing the packs registers their rules.
 from repro.checkers import rules as _rules  # noqa: F401  (import for side effect)
@@ -62,13 +67,28 @@ def check_source(
                 hint="fix the syntax error; no rules were run on this file",
             )
         ]
+    except ValueError as exc:
+        # ``ast.parse`` raises bare ValueError for e.g. null bytes.
+        return [
+            Finding(
+                path=path,
+                line=1,
+                col=1,
+                rule_id="PARSE",
+                message=f"unparseable source: {exc}",
+                hint="fix the file encoding; no rules were run on this file",
+            )
+        ]
     ctx = ModuleContext(
         path=path, source=source, tree=tree, module_name=module_name
     )
     suppressions = collect_suppressions(source)
+    file_rules = collect_file_suppressions(source)
     found: List[Finding] = []
     for rule_cls in rules if rules is not None else all_rules():
         for finding in rule_cls().check(ctx):
+            if is_file_suppressed(file_rules, finding.rule_id):
+                continue
             if is_suppressed(suppressions, finding.line, finding.rule_id):
                 continue
             found.append(finding)
@@ -76,12 +96,34 @@ def check_source(
     return found
 
 
+def read_source(path: str) -> str:
+    """Read one source file as UTF-8 (the project's only encoding)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
 def check_file(
     path: str, rules: Optional[Sequence[Type[Rule]]] = None
 ) -> List[Finding]:
-    """Check one file on disk."""
-    with open(path, "r", encoding="utf-8") as handle:
-        source = handle.read()
+    """Check one file on disk.
+
+    A file the driver cannot read or decode is reported as a structured
+    ``PARSE`` finding instead of raising, so one bad file cannot abort a
+    whole-tree run.
+    """
+    try:
+        source = read_source(path)
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Finding(
+                path=path,
+                line=1,
+                col=1,
+                rule_id="PARSE",
+                message=f"unreadable file: {exc}",
+                hint="fix the file's encoding or permissions",
+            )
+        ]
     return check_source(
         source, path=path, module_name=module_name_for(path), rules=rules
     )

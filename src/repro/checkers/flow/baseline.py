@@ -1,0 +1,102 @@
+"""Reviewed baseline: accepted project findings, with reasons.
+
+A baseline entry matches on ``(rule, path, function)`` — deliberately
+line-independent, so unrelated edits in a file do not unpin accepted
+findings.  Every entry carries a human-written ``reason``; an entry that
+no longer matches anything is itself reported (rule id ``BASELINE``) so
+the file cannot rot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict, List, Tuple
+
+from repro.checkers.findings import Finding
+from repro.checkers.flow.project import ProjectFinding
+
+#: Default baseline location, repo-root-relative.
+DEFAULT_BASELINE_PATH = "flow-baseline.json"
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    function: str
+    reason: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, os.path.normpath(self.path), self.function)
+
+
+def load_baseline(path: str) -> List[BaselineEntry]:
+    """Parse a baseline file; raises ValueError on malformed entries."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    entries = data["entries"] if isinstance(data, dict) else data
+    loaded: List[BaselineEntry] = []
+    for index, item in enumerate(entries):
+        try:
+            entry = BaselineEntry(
+                rule=item["rule"],
+                path=item["path"],
+                function=item["function"],
+                reason=item["reason"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"baseline entry #{index} is malformed: {exc}"
+            ) from exc
+        if not entry.reason.strip():
+            raise ValueError(
+                f"baseline entry #{index} ({entry.rule} at {entry.path}) "
+                "has an empty reason; every accepted finding needs one"
+            )
+        loaded.append(entry)
+    return loaded
+
+
+def apply_baseline(
+    findings: List[ProjectFinding], entries: List[BaselineEntry]
+) -> Tuple[List[ProjectFinding], List[Finding]]:
+    """Split findings into (kept, []) and report stale baseline entries.
+
+    Returns ``(unbaselined_findings, stale_entry_findings)``.
+    """
+    by_key: Dict[Tuple[str, str, str], BaselineEntry] = {
+        e.key: e for e in entries
+    }
+    used = set()
+    kept: List[ProjectFinding] = []
+    for pf in findings:
+        key = (
+            pf.finding.rule_id,
+            os.path.normpath(pf.finding.path),
+            f"{pf.module}.{pf.function}" if pf.module else pf.function,
+        )
+        if key in by_key:
+            used.add(key)
+            continue
+        kept.append(pf)
+    stale: List[Finding] = []
+    for entry in entries:
+        if entry.key in used:
+            continue
+        stale.append(
+            Finding(
+                path=entry.path,
+                line=1,
+                col=1,
+                rule_id="BASELINE",
+                message=(
+                    f"stale baseline entry: {entry.rule} in "
+                    f"{entry.function} no longer fires"
+                ),
+                hint="delete the entry from the baseline file",
+            )
+        )
+    return kept, stale

@@ -1,0 +1,84 @@
+"""Content-hash cache of per-module flow summaries.
+
+One JSON file maps source paths to ``(sha256, summary)`` pairs.  A
+module whose bytes have not changed is never re-parsed, so a warm
+``--project`` run pays only the (fast) link/fixpoint.  The cache keys on
+:data:`~repro.checkers.flow.summary.SUMMARY_VERSION`: bumping it after
+an extraction change invalidates everything at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.checkers.flow.summary import (
+    SUMMARY_VERSION,
+    ModuleSummary,
+    summarize_source,
+)
+
+#: Default cache location, repo-root-relative (gitignored).
+DEFAULT_CACHE_PATH = ".repro_flow_cache.json"
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class SummaryCache:
+    """Load-or-compute wrapper around the cache file."""
+
+    def __init__(self, path: Optional[str]) -> None:
+        self.path = path
+        self.entries: Dict[str, Tuple[str, dict]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        if path is not None and os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    data = json.load(handle)
+                if data.get("version") == SUMMARY_VERSION:
+                    for key, pair in data.get("entries", {}).items():
+                        self.entries[key] = (pair[0], pair[1])
+            except (OSError, ValueError, KeyError, IndexError):
+                self.entries = {}
+
+    def summarize(
+        self, source: str, path: str, module: Optional[str]
+    ) -> ModuleSummary:
+        digest = source_digest(source)
+        cached = self.entries.get(path)
+        if cached is not None and cached[0] == digest:
+            try:
+                summary = ModuleSummary.from_json(cached[1])
+                self.hits += 1
+                return summary
+            except (KeyError, TypeError, ValueError, IndexError):
+                pass  # corrupted entry: fall through and recompute
+        self.misses += 1
+        summary = summarize_source(source, path, module)
+        self.entries[path] = (digest, summary.to_json())
+        self._dirty = True
+        return summary
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload = {
+            "version": SUMMARY_VERSION,
+            "entries": {k: list(v) for k, v in self.entries.items()},
+        }
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

@@ -1,0 +1,454 @@
+"""Structural fingerprints for the hot path's inlined RNG replicas.
+
+PR 5 fused two ``random.Random`` primitives into the planner's inner
+loop for speed, with the contract that they stay *bit-identical* to the
+library routines they replaced:
+
+* the Box-Muller ``gauss`` window (including the ``gauss_next`` pair
+  cache) in :mod:`repro.migration.costs` and
+  :mod:`repro.core.placement`;
+* the ``choice`` replica — ``getrandbits`` rejection loop — in
+  :meth:`GreedyVacatePlanner._try_vacate`.
+
+A drive-by "cleanup" of either (simplifying the rejection loop, dropping
+the pair cache, reordering the two uniform draws) silently changes every
+downstream byte.  This module matches the canonical statement windows
+structurally — alpha-renamed locals allowed, math helpers resolved
+through the module's import aliases — and reports any use of the
+anchoring constructs (``gauss_next``, a ``getrandbits`` rejection
+``while``) that does *not* sit inside a verified window.  FLOW104 turns
+those reports into findings.
+
+The canonical gauss window (alias assignment optional, names free)::
+
+    z = R.gauss_next
+    R.gauss_next = None
+    if z is None:
+        u = R.random            # optional, may also be a prior alias
+        x = u() * TWOPI
+        g = sqrt(-2.0 * log(1.0 - u()))
+        z = cos(x) * g
+        R.gauss_next = sin(x) * g
+
+The canonical choice replica::
+
+    k = n.bit_length()
+    r = gb(k)
+    while r >= n:
+        r = gb(k)
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, List, Optional, Set
+
+from repro.checkers.flow.descriptors import Desc, eval_expr, walk_shallow
+
+#: ``import_map`` targets recognised for the math helpers.
+_MATH_NAMES = {
+    "sqrt": "math.sqrt",
+    "log": "math.log",
+    "cos": "math.cos",
+    "sin": "math.sin",
+}
+_TAU = "math.tau"
+
+
+@dataclasses.dataclass
+class ReplicaSite:
+    """One anchoring construct: a matched or broken inline replica."""
+
+    line: int
+    col: int
+    kind: str  # "gauss" | "choice"
+    ok: bool
+    detail: str = ""
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "kind": self.kind,
+            "ok": self.ok,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ReplicaSite":
+        return cls(**data)  # type: ignore[arg-type]
+
+
+class ReplicaMatcher:
+    """Matches canonical windows inside one function as it is walked.
+
+    The summary builder calls :meth:`try_gauss_window` for every
+    position in every statement list and :meth:`try_choice_loop` for
+    every ``while``; after the walk, :meth:`finish` reports anchors the
+    matched windows did not cover.
+    """
+
+    def __init__(self, func_node: ast.AST, import_map: Dict[str, str]) -> None:
+        self._func = func_node
+        self._imports = import_map
+        self._covered_gauss: Set[int] = set()  # id() of gauss_next Attributes
+        self._covered_while: Set[int] = set()  # id() of matched While nodes
+        self.sites: List[ReplicaSite] = []
+
+    # -- helpers ---------------------------------------------------------
+
+    def _math_target(self, node: ast.AST, env: Dict[str, Desc]) -> Optional[str]:
+        """Resolve a callable/name node to its dotted import target."""
+        if isinstance(node, ast.Name):
+            return self._imports.get(node.id)
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            base = self._imports.get(node.value.id)
+            if base is not None:
+                return f"{base}.{node.attr}"
+        return None
+
+    def _is_math(self, node: ast.AST, env: Dict[str, Desc], name: str) -> bool:
+        return self._math_target(node, env) == _MATH_NAMES[name]
+
+    def _is_tau(self, node: ast.AST, env: Dict[str, Desc]) -> bool:
+        target = self._math_target(node, env)
+        if target == _TAU:
+            return True
+        # ``2.0 * math.pi`` style is also byte-identical.
+        if (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, ast.Mult)
+            and isinstance(node.left, ast.Constant)
+            and node.left.value == 2.0
+        ):
+            return self._math_target(node.right, env) == "math.pi"
+        return False
+
+    @staticmethod
+    def _recv_of(node: ast.AST, env: Dict[str, Desc]) -> Optional[Desc]:
+        """Descriptor of ``X`` in an ``X.gauss_next`` attribute node."""
+        if isinstance(node, ast.Attribute):
+            return eval_expr(node.value, env)
+        return None
+
+    def _uniform_call(
+        self, node: ast.AST, env: Dict[str, Desc], recv: Desc
+    ) -> bool:
+        """Is ``node`` a zero-arg call of ``R.random`` (direct or alias)?"""
+        if not isinstance(node, ast.Call) or node.args or node.keywords:
+            return False
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "random":
+            return eval_expr(func.value, env) == recv
+        if isinstance(func, ast.Name):
+            return env.get(func.id) == ("getattr", recv, "random")
+        return False
+
+    def _getrandbits_call(
+        self, node: ast.AST, env: Dict[str, Desc], arg_name: str
+    ) -> bool:
+        """Is ``node`` a call ``gb(k)`` with gb an rng ``getrandbits``?"""
+        if not isinstance(node, ast.Call) or len(node.args) != 1 or node.keywords:
+            return False
+        if not (
+            isinstance(node.args[0], ast.Name) and node.args[0].id == arg_name
+        ):
+            return False
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "getrandbits":
+            return True
+        if isinstance(func, ast.Name):
+            bound = env.get(func.id)
+            return (
+                isinstance(bound, tuple)
+                and len(bound) == 3
+                and bound[0] == "getattr"
+                and bound[2] == "getrandbits"
+            )
+        return False
+
+    # -- gauss window ----------------------------------------------------
+
+    def try_gauss_window(
+        self, stmts: List[ast.stmt], index: int, env: Dict[str, Desc]
+    ) -> None:
+        """Try to match the canonical gauss window at ``stmts[index]``.
+
+        Called with the *pre-statement* environment, so hoisted aliases
+        (``uniform01 = rng.random`` in the function prologue) resolve.
+        Matches are recorded; mismatched windows become sites when
+        :meth:`finish` finds their uncovered ``gauss_next`` anchors.
+        """
+        head = stmts[index]
+        # Anchor: ``z = R.gauss_next``.
+        if not (
+            isinstance(head, ast.Assign)
+            and len(head.targets) == 1
+            and isinstance(head.targets[0], ast.Name)
+            and isinstance(head.value, ast.Attribute)
+            and head.value.attr == "gauss_next"
+        ):
+            return
+        if index + 2 >= len(stmts):
+            return
+        z_name = head.targets[0].id
+        recv = self._recv_of(head.value, env)
+        clear, branch = stmts[index + 1], stmts[index + 2]
+        # ``R.gauss_next = None``
+        if not (
+            isinstance(clear, ast.Assign)
+            and len(clear.targets) == 1
+            and isinstance(clear.targets[0], ast.Attribute)
+            and clear.targets[0].attr == "gauss_next"
+            and self._recv_of(clear.targets[0], env) == recv
+            and isinstance(clear.value, ast.Constant)
+            and clear.value.value is None
+        ):
+            return
+        # ``if z is None:`` with no else.
+        if not (
+            isinstance(branch, ast.If)
+            and not branch.orelse
+            and isinstance(branch.test, ast.Compare)
+            and isinstance(branch.test.left, ast.Name)
+            and branch.test.left.id == z_name
+            and len(branch.test.ops) == 1
+            and isinstance(branch.test.ops[0], ast.Is)
+            and isinstance(branch.test.comparators[0], ast.Constant)
+            and branch.test.comparators[0].value is None
+        ):
+            return
+        body = list(branch.body)
+        local_env = dict(env)
+        # Optional in-window alias: ``u = R.random``.
+        if (
+            body
+            and isinstance(body[0], ast.Assign)
+            and len(body[0].targets) == 1
+            and isinstance(body[0].targets[0], ast.Name)
+            and isinstance(body[0].value, ast.Attribute)
+            and body[0].value.attr == "random"
+            and eval_expr(body[0].value.value, local_env) == recv
+        ):
+            local_env[body[0].targets[0].id] = ("getattr", recv, "random")
+            body = body[1:]
+        if len(body) != 4:
+            return
+        x2pi, g2rad, z_assign, cache = body
+        # ``x = u() * TAU``
+        if not (
+            isinstance(x2pi, ast.Assign)
+            and len(x2pi.targets) == 1
+            and isinstance(x2pi.targets[0], ast.Name)
+            and isinstance(x2pi.value, ast.BinOp)
+            and isinstance(x2pi.value.op, ast.Mult)
+            and self._uniform_call(x2pi.value.left, local_env, recv)
+            and self._is_tau(x2pi.value.right, local_env)
+        ):
+            return
+        x_name = x2pi.targets[0].id
+        # ``g = sqrt(-2.0 * log(1.0 - u()))``
+        if not (
+            isinstance(g2rad, ast.Assign)
+            and len(g2rad.targets) == 1
+            and isinstance(g2rad.targets[0], ast.Name)
+            and isinstance(g2rad.value, ast.Call)
+            and self._is_math(g2rad.value.func, local_env, "sqrt")
+            and len(g2rad.value.args) == 1
+        ):
+            return
+        g_name = g2rad.targets[0].id
+        inner = g2rad.value.args[0]
+        ok = (
+            isinstance(inner, ast.BinOp)
+            and isinstance(inner.op, ast.Mult)
+            and _is_neg_two(inner.left)
+            and isinstance(inner.right, ast.Call)
+            and self._is_math(inner.right.func, local_env, "log")
+            and len(inner.right.args) == 1
+            and isinstance(inner.right.args[0], ast.BinOp)
+            and isinstance(inner.right.args[0].op, ast.Sub)
+            and isinstance(inner.right.args[0].left, ast.Constant)
+            and inner.right.args[0].left.value == 1.0
+            and self._uniform_call(inner.right.args[0].right, local_env, recv)
+        )
+        if not ok:
+            return
+
+        def _pair(node: ast.stmt, trig: str, target_is_cache: bool) -> bool:
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                return False
+            target = node.targets[0]
+            if target_is_cache:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "gauss_next"
+                    and self._recv_of(target, local_env) == recv
+                ):
+                    return False
+            else:
+                if not (isinstance(target, ast.Name) and target.id == z_name):
+                    return False
+            value = node.value
+            return (
+                isinstance(value, ast.BinOp)
+                and isinstance(value.op, ast.Mult)
+                and isinstance(value.left, ast.Call)
+                and self._is_math(value.left.func, local_env, trig)
+                and len(value.left.args) == 1
+                and isinstance(value.left.args[0], ast.Name)
+                and value.left.args[0].id == x_name
+                and isinstance(value.right, ast.Name)
+                and value.right.id == g_name
+            )
+
+        if not (_pair(z_assign, "cos", False) and _pair(cache, "sin", True)):
+            return
+        # Full window verified: record and mark its anchors covered.
+        for node in (head.value, clear.targets[0], cache.targets[0]):
+            self._covered_gauss.add(id(node))
+        self.sites.append(
+            ReplicaSite(
+                line=head.lineno,
+                col=head.col_offset + 1,
+                kind="gauss",
+                ok=True,
+                detail="matches random.Random.gauss (Box-Muller pair cache)",
+            )
+        )
+
+    # -- choice rejection loop -------------------------------------------
+
+    def try_choice_loop(
+        self, stmts: List[ast.stmt], index: int, env: Dict[str, Desc]
+    ) -> None:
+        """Try to match the ``getrandbits`` rejection loop at a ``while``."""
+        loop = stmts[index]
+        if not isinstance(loop, ast.While) or loop.orelse:
+            return
+        test = loop.test
+        if not (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.GtE)
+            and isinstance(test.comparators[0], ast.Name)
+        ):
+            return
+        r_name = test.left.id
+        n_name = test.comparators[0].id
+        if len(loop.body) != 1:
+            return
+        redraw = loop.body[0]
+        if not (
+            isinstance(redraw, ast.Assign)
+            and len(redraw.targets) == 1
+            and isinstance(redraw.targets[0], ast.Name)
+            and redraw.targets[0].id == r_name
+            and isinstance(redraw.value, ast.Call)
+        ):
+            return
+        k_args = [
+            a.id for a in redraw.value.args if isinstance(a, ast.Name)
+        ]
+        if len(k_args) != 1:
+            return
+        k_name = k_args[0]
+        if not self._getrandbits_call(redraw.value, env, k_name):
+            return
+        # The two statements before the loop: ``k = n.bit_length()`` then
+        # ``r = gb(k)`` (the initial draw).
+        if index < 2:
+            return
+        first_draw, k_assign = stmts[index - 1], stmts[index - 2]
+        if not (
+            isinstance(first_draw, ast.Assign)
+            and len(first_draw.targets) == 1
+            and isinstance(first_draw.targets[0], ast.Name)
+            and first_draw.targets[0].id == r_name
+            and self._getrandbits_call(first_draw.value, env, k_name)
+        ):
+            return
+        if not (
+            isinstance(k_assign, ast.Assign)
+            and len(k_assign.targets) == 1
+            and isinstance(k_assign.targets[0], ast.Name)
+            and k_assign.targets[0].id == k_name
+            and isinstance(k_assign.value, ast.Call)
+            and isinstance(k_assign.value.func, ast.Attribute)
+            and k_assign.value.func.attr == "bit_length"
+            and isinstance(k_assign.value.func.value, ast.Name)
+            and k_assign.value.func.value.id == n_name
+            and not k_assign.value.args
+        ):
+            return
+        self._covered_while.add(id(loop))
+        self.sites.append(
+            ReplicaSite(
+                line=k_assign.lineno,
+                col=k_assign.col_offset + 1,
+                kind="choice",
+                ok=True,
+                detail="matches random.Random._randbelow rejection loop",
+            )
+        )
+
+    # -- post-walk sweep -------------------------------------------------
+
+    def finish(self) -> List[ReplicaSite]:
+        """Report anchors no verified window covered, then return all sites."""
+        for node in walk_shallow(self._func):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "gauss_next"
+                and id(node) not in self._covered_gauss
+            ):
+                self.sites.append(
+                    ReplicaSite(
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        kind="gauss",
+                        ok=False,
+                        detail=(
+                            "gauss_next use outside a verified Box-Muller "
+                            "window"
+                        ),
+                    )
+                )
+            elif isinstance(node, ast.While) and id(node) not in self._covered_while:
+                if _while_touches_getrandbits(node):
+                    self.sites.append(
+                        ReplicaSite(
+                            line=node.lineno,
+                            col=node.col_offset + 1,
+                            kind="choice",
+                            ok=False,
+                            detail=(
+                                "getrandbits loop diverges from the "
+                                "Random.choice rejection-loop reference"
+                            ),
+                        )
+                    )
+        return self.sites
+
+
+def _is_neg_two(node: ast.AST) -> bool:
+    """``-2.0`` either as a constant or a unary minus."""
+    if isinstance(node, ast.Constant):
+        return node.value == -2.0
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and node.operand.value == 2.0
+    )
+
+
+def _while_touches_getrandbits(loop: ast.While) -> bool:
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Attribute) and node.attr == "getrandbits":
+            return True
+        if isinstance(node, ast.Name) and node.id == "getrandbits":
+            return True
+    return False

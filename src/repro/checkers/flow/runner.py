@@ -1,0 +1,173 @@
+"""The ``--project`` entry point: summarise, link, check, baseline.
+
+Ties the layers together: cached per-module summaries feed one
+:class:`~repro.checkers.flow.project.ProjectContext`, every registered
+project rule runs against it, and the result is filtered through inline
+suppressions and the reviewed baseline before rendering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.checkers.driver import (
+    iter_python_files,
+    module_name_for,
+    read_source,
+)
+from repro.checkers.findings import Finding
+from repro.checkers.flow.baseline import (
+    DEFAULT_BASELINE_PATH,
+    apply_baseline,
+    load_baseline,
+)
+from repro.checkers.flow.cache import DEFAULT_CACHE_PATH, SummaryCache
+from repro.checkers.flow.project import (
+    ProjectContext,
+    ProjectFinding,
+    all_project_rules,
+    project_rules_by_id,
+)
+from repro.checkers.flow.summary import ModuleSummary
+from repro.checkers.suppress import is_file_suppressed, is_suppressed
+
+# Importing the packs registers the project rules.
+from repro.checkers.flow import rules_enc as _enc  # noqa: F401
+from repro.checkers.flow import rules_flow as _flow  # noqa: F401
+from repro.checkers.flow import rules_trc as _trc  # noqa: F401
+
+
+@dataclasses.dataclass
+class ProjectResult:
+    """Everything a caller (CLI, tests, CI) needs from one run."""
+
+    findings: List[Finding]  # final, post-suppression/baseline, sorted
+    project_findings: List[ProjectFinding]  # same set, with function info
+    context: ProjectContext
+    cache_hits: int
+    cache_misses: int
+
+
+def check_project(
+    paths: Sequence[str],
+    rule_ids: Optional[Sequence[str]] = None,
+    baseline_path: Optional[str] = DEFAULT_BASELINE_PATH,
+    cache_path: Optional[str] = DEFAULT_CACHE_PATH,
+) -> ProjectResult:
+    """Run the whole-program packs over every ``.py`` file in ``paths``."""
+    cache = SummaryCache(cache_path)
+    summaries: List[ModuleSummary] = []
+    unreadable: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            source = read_source(path)
+        except (OSError, UnicodeDecodeError) as exc:
+            unreadable.append(
+                Finding(
+                    path=path,
+                    line=1,
+                    col=1,
+                    rule_id="PARSE",
+                    message=f"unreadable file: {exc}",
+                    hint="fix the file's encoding or permissions",
+                )
+            )
+            continue
+        summaries.append(cache.summarize(source, path, module_name_for(path)))
+    cache.save()
+
+    context = ProjectContext(summaries)
+    rules = (
+        project_rules_by_id(rule_ids)
+        if rule_ids is not None
+        else all_project_rules()
+    )
+
+    by_path: Dict[str, ModuleSummary] = {s.path: s for s in summaries}
+    raw: List[ProjectFinding] = []
+    for rule_cls in rules:
+        raw.extend(rule_cls().check(context))
+
+    # Inline suppressions, then dedupe (a call recorded both in a lambda
+    # and its enclosing function must yield one finding, not two).
+    seen = set()
+    kept: List[ProjectFinding] = []
+    for pf in raw:
+        finding = pf.finding
+        summary = by_path.get(finding.path)
+        if summary is not None:
+            if is_file_suppressed(
+                frozenset(summary.file_suppressions), finding.rule_id
+            ):
+                continue
+            if is_suppressed(
+                {k: frozenset(v) for k, v in summary.suppressions.items()},
+                finding.line,
+                finding.rule_id,
+            ):
+                continue
+        key = (finding.path, finding.line, finding.col, finding.rule_id)
+        if key in seen:
+            continue
+        seen.add(key)
+        kept.append(pf)
+
+    extra: List[Finding] = list(unreadable)
+    for summary in summaries:
+        if summary.parse_error is not None:
+            line, col, msg = summary.parse_error
+            extra.append(
+                Finding(
+                    path=summary.path,
+                    line=line,
+                    col=col,
+                    rule_id="PARSE",
+                    message=f"syntax error: {msg}",
+                    hint=(
+                        "fix the syntax error; this file is invisible to "
+                        "the whole-program analysis until it parses"
+                    ),
+                )
+            )
+
+    if baseline_path is not None and os.path.exists(baseline_path):
+        try:
+            entries = load_baseline(baseline_path)
+        except (ValueError, OSError) as exc:
+            entries = []
+            extra.append(
+                Finding(
+                    path=baseline_path,
+                    line=1,
+                    col=1,
+                    rule_id="BASELINE",
+                    message=f"unusable baseline file: {exc}",
+                    hint="repair or delete the baseline file",
+                )
+            )
+        kept, stale = apply_baseline(kept, entries)
+        extra.extend(stale)
+
+    findings = [pf.finding for pf in kept] + extra
+    findings.sort(key=lambda f: f.sort_key)
+    return ProjectResult(
+        findings=findings,
+        project_findings=kept,
+        context=context,
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
+    )
+
+
+def project_rule_metadata() -> List[Dict[str, str]]:
+    """SARIF-ready metadata for every registered project rule."""
+    return [
+        {
+            "id": cls.rule_id,
+            "shortDescription": {"text": cls.summary},
+            "help": {"text": cls.hint},
+        }
+        for cls in all_project_rules()
+    ]

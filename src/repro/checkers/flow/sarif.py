@@ -1,0 +1,78 @@
+"""Minimal SARIF 2.1.0 rendering of checker findings.
+
+Just enough of the schema for code-scanning UIs to ingest: one run, one
+driver, per-rule metadata, and one result per finding with a physical
+location.  No external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.checkers.findings import Finding
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_meta(rule_id: str, summary: str, hint: str) -> Dict[str, Any]:
+    meta: Dict[str, Any] = {
+        "id": rule_id,
+        "shortDescription": {"text": summary or rule_id},
+    }
+    if hint:
+        meta["help"] = {"text": hint}
+    return meta
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    rule_meta: Iterable[Dict[str, Any]] = (),
+    tool_name: str = "repro-checkers",
+) -> Dict[str, Any]:
+    """Render findings as a SARIF log object (caller serialises)."""
+    rules: List[Dict[str, Any]] = list(rule_meta)
+    known = {r["id"] for r in rules}
+    for finding in findings:
+        if finding.rule_id not in known:
+            rules.append(_rule_meta(finding.rule_id, "", finding.hint))
+            known.add(finding.rule_id)
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/")
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "rules": sorted(rules, key=lambda r: r["id"]),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

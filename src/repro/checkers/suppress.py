@@ -10,6 +10,16 @@ A finding is suppressed by a comment on the *flagged line*::
 bracket it suppresses only the listed rule ids.  Suppressions are parsed
 from real COMMENT tokens (via :mod:`tokenize`), so the marker inside a
 string literal does not suppress anything.
+
+A whole file opts out of specific rules with the file-level form (on any
+line, conventionally near the top)::
+
+    # repro: noqa-file[DET101]
+    # repro: noqa-file[DET101,FLOW101]
+    # repro: noqa-file
+
+The bare form suppresses every rule in the file; use it only for
+generated or vendored sources.
 """
 
 from __future__ import annotations
@@ -19,9 +29,16 @@ import re
 import tokenize
 from typing import Dict, FrozenSet
 
-#: Matches ``repro: noqa`` and ``repro: noqa[RULE1,RULE2]`` inside a comment.
+#: Matches ``repro: noqa`` and ``repro: noqa[RULE1,RULE2]`` inside a
+#: comment.  The negative lookahead keeps the line form from matching a
+#: ``noqa-file`` marker's prefix.
 _NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?",
+    r"#\s*repro:\s*noqa(?!-file)(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?",
+)
+
+#: Matches the file-level ``repro: noqa-file`` / ``noqa-file[RULES]`` form.
+_NOQA_FILE_RE = re.compile(
+    r"#\s*repro:\s*noqa-file(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?",
 )
 
 #: Sentinel rule-set meaning "suppress everything on this line".
@@ -72,3 +89,39 @@ def is_suppressed(
     if wanted is None:
         return False
     return wanted is ALL_RULES or "*" in wanted or rule_id.upper() in wanted
+
+
+def collect_file_suppressions(source: str) -> FrozenSet[str]:
+    """Rule ids the whole file suppresses via ``# repro: noqa-file``.
+
+    Returns :data:`ALL_RULES` for the bare form; otherwise the union of
+    every bracketed list in the file (an empty set when the marker is
+    absent).
+    """
+    suppressed: set = set()
+    reader = io.StringIO(source).readline
+    try:
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_FILE_RE.search(tok.string)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                return ALL_RULES
+            suppressed.update(
+                r.strip().upper() for r in rules.split(",") if r.strip()
+            )
+    except tokenize.TokenError:
+        pass
+    return frozenset(suppressed)
+
+
+def is_file_suppressed(file_rules: FrozenSet[str], rule_id: str) -> bool:
+    """Whether ``rule_id`` is suppressed by a file-level noqa set."""
+    return (
+        file_rules is ALL_RULES
+        or "*" in file_rules
+        or rule_id.upper() in file_rules
+    )

@@ -4,15 +4,19 @@ This is the contract the linter exists to enforce: every determinism,
 unit-safety, state-machine, and API-surface rule holds across the whole
 ``repro`` package (explicit ``# repro: noqa[RULE]`` suppressions
 included, so a suppression is always a reviewed decision, never an
-accident).
+accident) — and so do the whole-program FLOW/ENC/TRC packs, filtered
+through the reviewed ``flow-baseline.json``.
 """
 
 import os
 
 import repro
 from repro.checkers import check_paths
+from repro.checkers.flow import check_project
 
 PACKAGE_ROOT = os.path.dirname(os.path.abspath(repro.__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO_ROOT, "flow-baseline.json")
 
 
 class TestTreeIsClean:
@@ -25,3 +29,38 @@ class TestTreeIsClean:
         # Guard against an empty-directory false pass.
         assert os.path.isfile(os.path.join(PACKAGE_ROOT, "units.py"))
         assert os.path.isdir(os.path.join(PACKAGE_ROOT, "checkers"))
+
+
+class TestProjectModeIsClean:
+    def test_no_project_findings_across_repro(self, tmp_path):
+        result = check_project(
+            [PACKAGE_ROOT],
+            baseline_path=BASELINE if os.path.isfile(BASELINE) else None,
+            cache_path=str(tmp_path / "flow-cache.json"),
+        )
+        rendered = "\n".join(f.render() for f in result.findings)
+        assert not result.findings, (
+            f"repro.checkers --project found violations:\n{rendered}"
+        )
+
+    def test_analysis_covered_the_real_tree(self, tmp_path):
+        result = check_project(
+            [PACKAGE_ROOT], cache_path=str(tmp_path / "flow-cache.json")
+        )
+        ctx = result.context
+        assert ctx is not None
+        # Non-vacuity: the linker saw the simulation's own draw sites and
+        # index-holding classes, not an empty or trivially-clean tree.
+        assert len(ctx.draws) > 10
+        assert any(d.tokens for d in ctx.draws)
+        assert any(
+            dotted.endswith(".Host") for dotted in ctx.classes
+        ), "expected cluster Host class in the linked project"
+
+    def test_warm_cache_round_trip_is_clean_and_hits(self, tmp_path):
+        cache = str(tmp_path / "flow-cache.json")
+        cold = check_project([PACKAGE_ROOT], cache_path=cache)
+        warm = check_project([PACKAGE_ROOT], cache_path=cache)
+        assert not warm.findings
+        assert warm.cache_misses == 0
+        assert warm.cache_hits == cold.cache_misses

@@ -1,0 +1,528 @@
+"""Rule battery for the whole-program FLOW/ENC/TRC packs.
+
+Three layers of assurance:
+
+- synthetic fixture modules where each rule must fire at an exact
+  ``file:line`` (the seeded-fault battery from the acceptance criteria);
+- a mutation battery that appends a rogue index write to each *real*
+  indexed module and asserts ENC201 catches it;
+- end-to-end ``check_project`` runs covering suppressions, baselines,
+  parse errors, and the cache.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.checkers.driver import module_name_for, read_source
+from repro.checkers.flow.baseline import apply_baseline, load_baseline
+from repro.checkers.flow.project import ProjectContext
+from repro.checkers.flow.runner import check_project
+from repro.checkers.flow.rules_enc import INDEX_SPECS
+from repro.checkers.flow.summary import summarize_source
+
+# Importing the runner registered every project rule.
+from repro.checkers.flow.project import all_project_rules
+
+
+def build_ctx(modules):
+    """``{dotted_module: source} -> ProjectContext``."""
+    summaries = []
+    for module, source in modules.items():
+        path = "src/" + module.replace(".", "/") + ".py"
+        summaries.append(
+            summarize_source(textwrap.dedent(source), path, module)
+        )
+    return ProjectContext(summaries)
+
+
+def run_rules(ctx, prefix=""):
+    found = []
+    for rule_cls in all_project_rules():
+        if not rule_cls.rule_id.startswith(prefix):
+            continue
+        found.extend(rule_cls().check(ctx))
+    return found
+
+
+def rendered(findings):
+    return [
+        (pf.finding.rule_id, pf.finding.path, pf.finding.line)
+        for pf in findings
+    ]
+
+
+TRACER_MODULE = """
+class Tracer:
+    enabled = False
+
+    def event(self, name, **labels):
+        return None
+
+    def span(self, name):
+        return None
+
+    def now_s(self):
+        return 0.0
+"""
+
+
+class TestFlowPack:
+    def test_flow101_rogue_draw_exact_location(self):
+        ctx = build_ctx(
+            {
+                "repro.core.evil": """
+                import random
+
+                def rogue():
+                    r = random.Random()
+                    return r.random()
+                """
+            }
+        )
+        assert rendered(run_rules(ctx, "FLOW101")) == [
+            ("FLOW101", "src/repro/core/evil.py", 6)
+        ]
+
+    def test_flow101_attributed_and_external_are_clean(self):
+        ctx = build_ctx(
+            {
+                "repro.core.good": """
+                import random
+
+                def seeded():
+                    return random.Random(42).random()
+
+                def external(rng: random.Random):
+                    return rng.gauss(0.0, 1.0)
+                """
+            }
+        )
+        assert run_rules(ctx, "FLOW101") == []
+
+    def test_flow102_unguarded_fault_draw(self):
+        source = """
+        class Injector:
+            def __init__(self, rng, profile):
+                self._rng = rng
+                self.profile = profile
+
+            def maybe_fail(self):
+                return self._rng.random() < self.profile.fail_prob
+
+            def guarded_fail(self):
+                if self.profile.fail_prob <= 0.0:
+                    return False
+                return self._rng.random() < self.profile.fail_prob
+        """
+        ctx = build_ctx({"repro.faults.injector": source})
+        found = rendered(run_rules(ctx, "FLOW102"))
+        assert found == [("FLOW102", "src/repro/faults/injector.py", 8)]
+
+    def test_flow103_guarded_stochastic_call_needs_mirror(self):
+        ctx = build_ctx(
+            {
+                "repro.obs.tracer": TRACER_MODULE,
+                "repro.core.planner": """
+                import random
+                from repro.obs.tracer import Tracer
+
+                class Planner:
+                    def __init__(self, tracer: Tracer, rng: random.Random):
+                        self.tracer = tracer
+                        self.rng = rng
+
+                    def plan(self):
+                        if self.tracer.enabled:
+                            self._stochastic()
+
+                    def mirrored(self):
+                        if self.tracer.enabled:
+                            self._stochastic()
+                        else:
+                            self._stochastic()
+
+                    def _stochastic(self):
+                        return self.rng.random()
+                """,
+            }
+        )
+        found = rendered(run_rules(ctx, "FLOW103"))
+        assert found == [("FLOW103", "src/repro/core/planner.py", 12)]
+
+    def test_flow104_drifted_gauss_replica(self):
+        # The sin/cos pairing is swapped vs random.Random.gauss: the
+        # cached second variate would differ from the library's.
+        ctx = build_ctx(
+            {
+                "repro.migration.fastpath": """
+                from math import cos as _cos, sin as _sin, log as _log
+                from math import sqrt as _sqrt, tau as _TWOPI
+                import random
+
+                def sample(rng: random.Random) -> float:
+                    u = rng.random
+                    z = rng.gauss_next
+                    rng.gauss_next = None
+                    if z is None:
+                        x2pi = u() * _TWOPI
+                        g2rad = _sqrt(-2.0 * _log(1.0 - u()))
+                        z = _sin(x2pi) * g2rad
+                        rng.gauss_next = _cos(x2pi) * g2rad
+                    return 100.0 + z * 10.0
+                """
+            }
+        )
+        found = rendered(run_rules(ctx, "FLOW104"))
+        # Each unverified gauss_next touch is its own site.
+        assert found and all(f[0] == "FLOW104" for f in found)
+
+    def test_flow104_canonical_replica_in_real_tree_is_clean(self):
+        path = "src/repro/migration/costs.py"
+        summary = summarize_source(
+            read_source(path), path, "repro.migration.costs"
+        )
+        sites = [
+            s
+            for fn in summary.functions.values()
+            for s in fn.replica_sites
+        ]
+        assert sites, "expected inlined gauss replicas in costs.py"
+        assert all(s.ok for s in sites)
+
+
+class TestEncPack:
+    def test_enc201_mutation_battery_real_modules(self):
+        """Append a rogue write to each real indexed module; ENC201 must
+        catch every one at the exact appended line."""
+        for spec in INDEX_SPECS:
+            module = spec.cls.rsplit(".", 1)[0]
+            cls_name = spec.cls.rsplit(".", 1)[1]
+            attr = sorted(spec.attrs)[0]
+            path = "src/" + module.replace(".", "/") + ".py"
+            source = read_source(path)
+            base_lines = source.count("\n")
+            rogue = (
+                f"\n\ndef _rogue(x: {cls_name}) -> None:\n"
+                f"    x.{attr} = None\n"
+            )
+            summary = summarize_source(source + rogue, path, module)
+            ctx = ProjectContext([summary])
+            found = rendered(run_rules(ctx, "ENC201"))
+            expected_line = base_lines + 4
+            assert (("ENC201", path, expected_line) in found), (
+                f"rogue write to {spec.cls}.{attr} not caught; "
+                f"got {found}"
+            )
+
+    def test_enc201_inplace_container_mutation(self):
+        ctx = build_ctx(
+            {
+                "repro.cluster.host": """
+                class Host:
+                    def __init__(self):
+                        self._served_images = set()
+
+                    def add_served_image(self, vm_id):
+                        self._served_images.add(vm_id)
+
+                def rogue(h: Host):
+                    h._served_images.add(99)
+                """
+            }
+        )
+        found = rendered(run_rules(ctx, "ENC201"))
+        assert found == [("ENC201", "src/repro/cluster/host.py", 10)]
+
+    def test_enc201_sanctioned_mutator_is_clean(self):
+        ctx = build_ctx(
+            {
+                "repro.cluster.topology": """
+                class Cluster:
+                    def __init__(self):
+                        self._powered_home = 0
+
+                    def _on_power_edge(self, host, previous, state):
+                        self._powered_home += 1
+                """
+            }
+        )
+        assert run_rules(ctx, "ENC201") == []
+
+    def test_enc202_leaked_index_handle(self):
+        ctx = build_ctx(
+            {
+                "repro.cluster.host": """
+                class Host:
+                    def __init__(self):
+                        self._vms = {}
+
+                    def leak(self):
+                        return self._vms
+
+                    def safe(self):
+                        return list(self._vms)
+                """
+            }
+        )
+        found = rendered(run_rules(ctx, "ENC202"))
+        assert found == [("ENC202", "src/repro/cluster/host.py", 7)]
+
+
+class TestTrcPack:
+    def test_trc301_emission_result_feeds_value(self):
+        ctx = build_ctx(
+            {
+                "repro.obs.tracer": TRACER_MODULE,
+                "repro.core.engine": """
+                from repro.obs.tracer import Tracer
+
+                class Engine:
+                    def __init__(self, tracer: Tracer):
+                        self.tracer = tracer
+
+                    def bad(self):
+                        marker = self.tracer.event("step")
+                        return marker
+
+                    def good(self):
+                        self.tracer.event("step")
+                """,
+            }
+        )
+        found = rendered(run_rules(ctx, "TRC301"))
+        assert found == [("TRC301", "src/repro/core/engine.py", 9)]
+
+    def test_trc302_draw_under_tracer_guard(self):
+        ctx = build_ctx(
+            {
+                "repro.obs.tracer": TRACER_MODULE,
+                "repro.core.engine": """
+                import random
+                from repro.obs.tracer import Tracer
+
+                class Engine:
+                    def __init__(self, tracer: Tracer, rng: random.Random):
+                        self.tracer = tracer
+                        self.rng = rng
+
+                    def bad(self):
+                        if self.tracer.enabled:
+                            jitter = self.rng.random()
+                            self.tracer.event("jitter", value=jitter)
+                """,
+            }
+        )
+        found = rendered(run_rules(ctx, "TRC302"))
+        assert found == [("TRC302", "src/repro/core/engine.py", 12)]
+
+    def test_trc303_tracer_state_reads(self):
+        ctx = build_ctx(
+            {
+                "repro.obs.tracer": TRACER_MODULE,
+                "repro.core.engine": """
+                from repro.obs.tracer import Tracer
+
+                class Engine:
+                    def __init__(self, tracer: Tracer):
+                        self.tracer = tracer
+
+                    def clock_read(self):
+                        return self.tracer.now_s()
+
+                    def state_read(self, t: Tracer):
+                        return t.events
+                """,
+            }
+        )
+        found = sorted(rendered(run_rules(ctx, "TRC303")))
+        assert found == [
+            ("TRC303", "src/repro/core/engine.py", 9),
+            ("TRC303", "src/repro/core/engine.py", 12),
+        ]
+
+    def test_trc_exempt_inside_obs(self):
+        ctx = build_ctx(
+            {
+                "repro.obs.exporter": TRACER_MODULE
+                + """
+
+                def export(tracer: Tracer):
+                    return tracer.now_s()
+                """
+            }
+        )
+        assert run_rules(ctx, "TRC") == []
+
+
+class TestProjectRunner:
+    def _write_tree(self, tmp_path, files):
+        root = tmp_path / "src" / "repro"
+        for rel, source in files.items():
+            target = root / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source), encoding="utf-8")
+        return str(root)
+
+    def test_end_to_end_with_cache(self, tmp_path):
+        root = self._write_tree(
+            tmp_path,
+            {
+                "core/evil.py": """
+                import random
+
+                def rogue():
+                    return random.Random().random()
+                """
+            },
+        )
+        cache = str(tmp_path / "cache.json")
+        cold = check_project([root], baseline_path=None, cache_path=cache)
+        assert [f.rule_id for f in cold.findings] == ["FLOW101"]
+        assert cold.cache_misses >= 1 and cold.cache_hits == 0
+
+        warm = check_project([root], baseline_path=None, cache_path=cache)
+        assert [f.rule_id for f in warm.findings] == ["FLOW101"]
+        assert warm.cache_misses == 0 and warm.cache_hits >= 1
+
+    def test_line_and_file_suppressions(self, tmp_path):
+        root = self._write_tree(
+            tmp_path,
+            {
+                "core/line.py": """
+                import random
+
+                def rogue():
+                    return random.Random().random()  # repro: noqa[FLOW101]
+                """,
+                "core/whole.py": """
+                # repro: noqa-file[FLOW101]
+                import random
+
+                def rogue():
+                    return random.Random().random()
+                """,
+            },
+        )
+        result = check_project([root], baseline_path=None, cache_path=None)
+        assert result.findings == []
+
+    def test_syntax_error_reported_as_parse_finding(self, tmp_path):
+        root = self._write_tree(
+            tmp_path, {"core/broken.py": "def broken(:\n    pass\n"}
+        )
+        result = check_project([root], baseline_path=None, cache_path=None)
+        assert [f.rule_id for f in result.findings] == ["PARSE"]
+        assert result.findings[0].line == 1
+
+    def test_baseline_filters_and_reports_stale(self, tmp_path):
+        root = self._write_tree(
+            tmp_path,
+            {
+                "core/evil.py": """
+                import random
+
+                def rogue():
+                    return random.Random().random()
+                """
+            },
+        )
+        evil_path = root + "/core/evil.py"
+        baseline = tmp_path / "flow-baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "entries": [
+                        {
+                            "rule": "FLOW101",
+                            "path": evil_path,
+                            "function": "repro.core.evil.rogue",
+                            "reason": "fixture: accepted for the test",
+                        },
+                        {
+                            "rule": "FLOW101",
+                            "path": evil_path,
+                            "function": "repro.core.evil.gone",
+                            "reason": "fixture: this one is stale",
+                        },
+                    ]
+                }
+            ),
+            encoding="utf-8",
+        )
+        result = check_project(
+            [root], baseline_path=str(baseline), cache_path=None
+        )
+        assert [f.rule_id for f in result.findings] == ["BASELINE"]
+        assert "stale" in result.findings[0].message
+
+    def test_malformed_baseline_is_a_finding(self, tmp_path):
+        root = self._write_tree(tmp_path, {"core/ok.py": "x = 1\n"})
+        baseline = tmp_path / "flow-baseline.json"
+        baseline.write_text(
+            json.dumps({"entries": [{"rule": "FLOW101"}]}), encoding="utf-8"
+        )
+        result = check_project(
+            [root], baseline_path=str(baseline), cache_path=None
+        )
+        assert [f.rule_id for f in result.findings] == ["BASELINE"]
+        assert "malformed" in result.findings[0].message
+
+    def test_baseline_reason_must_be_nonempty(self, tmp_path):
+        baseline = tmp_path / "flow-baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "entries": [
+                        {
+                            "rule": "FLOW101",
+                            "path": "x.py",
+                            "function": "m.f",
+                            "reason": "   ",
+                        }
+                    ]
+                }
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="empty reason"):
+            load_baseline(str(baseline))
+
+
+class TestCliProjectMode:
+    def test_sarif_output_shape(self, tmp_path, capsys):
+        from repro.checkers.cli import main
+
+        root = tmp_path / "src" / "repro" / "core"
+        root.mkdir(parents=True)
+        (root / "evil.py").write_text(
+            "import random\n\ndef rogue():\n"
+            "    return random.Random().random()\n",
+            encoding="utf-8",
+        )
+        code = main(
+            [
+                str(tmp_path / "src" / "repro"),
+                "--project",
+                "--format",
+                "sarif",
+                "--no-cache",
+            ]
+        )
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        [run] = log["runs"]
+        [result] = [
+            r for r in run["results"] if r["ruleId"] == "FLOW101"
+        ]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 4
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"FLOW101", "ENC201", "TRC301"} <= rule_ids
+
+    def test_sarif_requires_project(self, capsys):
+        from repro.checkers.cli import main
+
+        assert main(["src/repro", "--format", "sarif"]) == 2

@@ -1,0 +1,291 @@
+"""Extraction + linking coverage: summaries, call graph, RNG fixpoint.
+
+Exercises the parts of :mod:`repro.checkers.flow` that the rule-level
+tests take for granted: decorated functions, lambdas, self-dispatch
+across inheritance, call cycles reaching fixpoint, JSON round-trips,
+and the content-hash summary cache.
+"""
+
+import textwrap
+
+from repro.checkers.flow.cache import SummaryCache
+from repro.checkers.flow.project import ProjectContext
+from repro.checkers.flow.summary import ModuleSummary, summarize_source
+
+
+def summarize(source: str, module: str = "repro.farm.demo") -> ModuleSummary:
+    path = "src/" + module.replace(".", "/") + ".py"
+    return summarize_source(textwrap.dedent(source), path, module)
+
+
+def link(*summaries: ModuleSummary) -> ProjectContext:
+    return ProjectContext(summaries)
+
+
+class TestExtraction:
+    def test_decorated_function_keeps_kind_and_calls(self):
+        summary = summarize(
+            """
+            import functools
+
+            @functools.lru_cache(maxsize=None)
+            def cached(x):
+                return helper(x)
+
+            def helper(x):
+                return x
+            """
+        )
+        func = summary.functions["cached"]
+        assert func.kind == "function"
+        assert "lru_cache" in func.decorators
+        assert any(c.callee == ("global", "helper") for c in func.calls)
+
+    def test_call_through_decorated_function_resolves(self):
+        ctx = link(
+            summarize(
+                """
+                import functools
+                import random
+
+                @functools.lru_cache(maxsize=None)
+                def draws(rng):
+                    return rng.random()
+
+                def caller(seed):
+                    return draws(random.Random(7))
+                """
+            )
+        )
+        key = ("repro.farm.demo", "draws")
+        assert key in ctx.transitive_draws
+        assert ("repro.farm.demo", "caller") in ctx.transitive_draws
+        # The seeded Random flowed into the decorated callee's param.
+        assert any(
+            t.startswith("seeded:") for t in ctx.param_rng[(key, "rng")]
+        )
+
+    def test_lambda_gets_its_own_summary(self):
+        summary = summarize(
+            """
+            def outer(items, rng):
+                return sorted(items, key=lambda v: rng.random() + v)
+            """
+        )
+        lambdas = [q for q in summary.functions if "<lambda" in q]
+        assert len(lambdas) == 1
+        lam = summary.functions[lambdas[0]]
+        assert any(
+            c.callee == ("getattr", ("param", "rng"), "random")
+            for c in lam.calls
+        )
+
+    def test_methods_staticmethods_classmethods(self):
+        summary = summarize(
+            """
+            class Box:
+                def normal(self):
+                    return self.x
+
+                @staticmethod
+                def still(v):
+                    return v
+
+                @classmethod
+                def build(cls):
+                    return cls()
+            """
+        )
+        assert summary.functions["Box.normal"].kind == "method"
+        assert summary.functions["Box.still"].kind == "staticmethod"
+        assert summary.functions["Box.build"].kind == "classmethod"
+        assert summary.classes["Box"].methods["normal"] == "Box.normal"
+
+    def test_parse_error_recorded_not_raised(self):
+        summary = summarize("def broken(:\n    pass\n")
+        assert summary.parse_error is not None
+        assert summary.parse_error[0] == 1
+        assert summary.functions == {}
+
+    def test_json_roundtrip_is_exact(self):
+        summary = summarize(
+            """
+            import random
+
+            class Sampler:
+                def __init__(self, rng: random.Random) -> None:
+                    self._rng = rng
+
+                def draw(self) -> float:
+                    return self._rng.random()
+            """
+        )
+        recovered = ModuleSummary.from_json(summary.to_json())
+        assert recovered.to_json() == summary.to_json()
+        assert recovered.functions["Sampler.draw"].calls[0].callee == (
+            "getattr",
+            ("selfattr", "_rng"),
+            "random",
+        )
+
+
+class TestLinking:
+    def test_self_dispatch_across_inheritance(self):
+        base = summarize(
+            """
+            class Base:
+                def template(self):
+                    return self.step()
+
+                def step(self):
+                    return 0
+            """,
+            module="repro.farm.base",
+        )
+        sub = summarize(
+            """
+            import random
+            from repro.farm.base import Base
+
+            class Sub(Base):
+                def __init__(self, rng: random.Random) -> None:
+                    self._rng = rng
+
+                def step(self):
+                    return self._rng.random()
+            """,
+            module="repro.farm.sub",
+        )
+        ctx = link(base, sub)
+        assert ctx.find_method("repro.farm.sub.Sub", "template") == (
+            "repro.farm.base",
+            "Base.template",
+        )
+        assert ctx.find_method("repro.farm.sub.Sub", "step") == (
+            "repro.farm.sub",
+            "Sub.step",
+        )
+        # Base.template calls self.step(); the subclass override draws,
+        # so both the override and the base template are stochastic.
+        assert ("repro.farm.sub", "Sub.step") in ctx.transitive_draws
+
+    def test_call_cycle_reaches_fixpoint(self):
+        ctx = link(
+            summarize(
+                """
+                import random
+
+                def ping(rng, depth):
+                    if depth <= 0:
+                        return rng.random()
+                    return pong(rng, depth - 1)
+
+                def pong(rng, depth):
+                    return ping(rng, depth)
+
+                def entry():
+                    return ping(random.Random(3), 4)
+                """
+            )
+        )
+        module = "repro.farm.demo"
+        for qual in ("ping", "pong", "entry"):
+            assert (module, qual) in ctx.transitive_draws
+        # Attribution propagated around the ping<->pong cycle.
+        assert ctx.param_rng[((module, "ping"), "rng")]
+        assert ctx.param_rng[((module, "pong"), "rng")]
+
+    def test_union_default_rng_attributes_both_branches(self):
+        ctx = link(
+            summarize(
+                """
+                import random
+
+                class Manager:
+                    def __init__(self, rng=None):
+                        self.rng = rng if rng is not None else random.Random(0)
+
+                    def act(self):
+                        return self.rng.random()
+                """
+            )
+        )
+        [draw] = [
+            d for d in ctx.draws if d.func == ("repro.farm.demo", "Manager.act")
+        ]
+        assert any(t.startswith("seeded:") for t in draw.tokens)
+
+    def test_streams_literal_get_yields_named_stream(self):
+        streams_mod = summarize(
+            """
+            import random
+
+            class RngStreams:
+                def get(self, name: str) -> random.Random:
+                    return random.Random(0)
+            """,
+            module="repro.simulator.randomness",
+        )
+        user_mod = summarize(
+            """
+            from repro.simulator.randomness import RngStreams
+
+            class Engine:
+                def __init__(self, streams: RngStreams) -> None:
+                    self._rng = streams.get("traffic")
+
+                def act(self):
+                    return self._rng.random()
+            """,
+            module="repro.farm.engine",
+        )
+        ctx = link(streams_mod, user_mod)
+        [draw] = [
+            d for d in ctx.draws
+            if d.func == ("repro.farm.engine", "Engine.act")
+        ]
+        assert draw.tokens == frozenset({"stream:traffic"})
+
+
+class TestSummaryCache:
+    def test_hit_miss_and_invalidation(self, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        src_a = "def f():\n    return 1\n"
+        src_b = "def f():\n    return 2\n"
+
+        cache = SummaryCache(str(cache_file))
+        cache.summarize(src_a, "a.py", "repro.a")
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.save()
+
+        warm = SummaryCache(str(cache_file))
+        warm.summarize(src_a, "a.py", "repro.a")
+        assert (warm.hits, warm.misses) == (1, 0)
+        # Changed content misses and replaces the entry.
+        warm.summarize(src_b, "a.py", "repro.a")
+        assert warm.misses == 1
+        warm.save()
+
+        final = SummaryCache(str(cache_file))
+        summary = final.summarize(src_b, "a.py", "repro.a")
+        assert final.hits == 1
+        assert summary.functions["f"].returns[0][1] == ("const", 2)
+
+    def test_version_bump_invalidates(self, tmp_path, monkeypatch):
+        cache_file = tmp_path / "cache.json"
+        cache = SummaryCache(str(cache_file))
+        cache.summarize("x = 1\n", "a.py", "repro.a")
+        cache.save()
+
+        import repro.checkers.flow.cache as cache_mod
+
+        monkeypatch.setattr(cache_mod, "SUMMARY_VERSION", 9999)
+        stale = SummaryCache(str(cache_file))
+        assert stale.entries == {}
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text("{not json", encoding="utf-8")
+        cache = SummaryCache(str(cache_file))
+        cache.summarize("x = 1\n", "a.py", "repro.a")
+        assert cache.misses == 1
