@@ -53,6 +53,87 @@ def _make_runner(workers: int) -> SweepRunner:
     return SweepRunner()
 
 
+def _print_day_summary(result, config: FarmConfig, chart: bool) -> None:
+    """The single-day report block; shared by the unsharded and the
+    zoned path, whose 1-zone aggregate must print byte-identically."""
+    print(f"policy:           {result.policy_name} ({result.day_type})")
+    print(f"energy savings:   {format_percent(result.savings_fraction)}")
+    print(f"baseline:         {result.energy.baseline_wh:.0f} Wh")
+    print(f"managed:          {result.energy.managed_wh:.0f} Wh")
+    print(
+        f"home-host sleep:  "
+        f"{format_percent(result.mean_home_sleep_fraction())} of the day"
+    )
+    print(f"peak active VMs:  {result.peak_active_vms}")
+    print(f"min powered:      {result.min_powered_hosts} hosts")
+    print(
+        f"transitions:      {len(result.delays)} "
+        f"({format_percent(result.zero_delay_fraction())} zero-delay)"
+    )
+    delays = result.delay_values()
+    if delays:
+        cdf = Cdf(delays)
+        print(
+            f"delay p50/p99:    {cdf.median():.1f} s / "
+            f"{cdf.percentile(99):.1f} s"
+        )
+    print(f"network traffic:  {result.traffic.network_total_mib():,.0f} MiB")
+    print(f"migrations:       {result.counters}")
+    if not config.faults.is_null:
+        print(f"fault profile:    {config.faults.name}")
+        print(f"faults:           {result.faults}")
+    if chart:
+        from repro.analysis import sparkline
+
+        print()
+        print("active VMs   ", sparkline(result.active_vms, width=72))
+        print("powered hosts", sparkline(
+            [float(count) for count in result.powered_hosts], width=72
+        ))
+        print("              00:00" + " " * 28 + "12:00" + " " * 29 + "24:00")
+
+
+def _print_zone_table(zoned) -> None:
+    """Per-zone shares and shard outcomes (``--zones`` > 1 only).
+
+    Deliberately omits worker attribution (``RunOutcome.worker`` is a
+    pid): which process ran which shard is scheduling-dependent, and the
+    report must stay byte-identical for a given seed.
+    """
+    partition = zoned.partition
+    rows = []
+    for budget, outcome in zip(zoned.budgets, zoned.zone_outcomes):
+        homes = len(partition.home_host_ids[budget.zone])
+        cons = len(partition.consolidation_host_ids[budget.zone])
+        if outcome is None:
+            rows.append((budget.zone, homes, cons, 0, "-", "-",
+                         f"{budget.share_w:.0f}", "-", "empty"))
+            continue
+        result = outcome.result
+        rows.append((
+            budget.zone, homes, cons, homes * partition.vms_per_host,
+            format_percent(result.savings_fraction),
+            f"{result.energy.managed_wh:.0f}",
+            f"{budget.share_w:.0f}",
+            f"{budget.mean_power_w:.0f}",
+            f"{budget.utilization:.0%}",
+        ))
+    print()
+    print(format_table(
+        ["zone", "homes", "cons", "VMs", "savings", "managed Wh",
+         "share W", "mean W", "util"],
+        rows,
+    ))
+    if zoned.budget_w is not None:
+        over = [b.zone for b in zoned.budgets if not b.within_budget]
+        status = (
+            "all zones within budget" if not over
+            else f"over budget: zones {over}"
+        )
+        print(f"budget:           {zoned.budget_w:.0f} W across "
+              f"{zoned.zones} zones ({status})")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = FarmConfig(
         home_hosts=args.home_hosts,
@@ -61,6 +142,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         faults=fault_profile_by_name(args.fault_profile),
     )
     policy = policy_by_name(args.policy)
+    if args.zones < 1:
+        print("--zones must be >= 1", file=sys.stderr)
+        return 2
+    if args.zones > 1 and (args.week or args.runs > 1):
+        print("--zones shards a single day: drop --week and --runs",
+              file=sys.stderr)
+        return 2
     tracer = None
     if args.trace:
         if args.week or args.runs > 1:
@@ -88,44 +176,32 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return 0
     if args.runs > 1:
         return _simulate_repetitions(config, policy, args)
-    result = simulate_day(
-        config, policy, _day_type(args.day), seed=args.seed, tracer=tracer
-    )
-    print(f"policy:           {result.policy_name} ({result.day_type})")
-    print(f"energy savings:   {format_percent(result.savings_fraction)}")
-    print(f"baseline:         {result.energy.baseline_wh:.0f} Wh")
-    print(f"managed:          {result.energy.managed_wh:.0f} Wh")
-    print(
-        f"home-host sleep:  "
-        f"{format_percent(result.mean_home_sleep_fraction())} of the day"
-    )
-    print(f"peak active VMs:  {result.peak_active_vms}")
-    print(f"min powered:      {result.min_powered_hosts} hosts")
-    print(
-        f"transitions:      {len(result.delays)} "
-        f"({format_percent(result.zero_delay_fraction())} zero-delay)"
-    )
-    delays = result.delay_values()
-    if delays:
-        cdf = Cdf(delays)
-        print(
-            f"delay p50/p99:    {cdf.median():.1f} s / "
-            f"{cdf.percentile(99):.1f} s"
+    zoned = None
+    if tracer is not None and args.zones == 1:
+        # Full-fidelity trace: the unsharded simulator streams every
+        # simulation event into the tracer in-process.
+        result = simulate_day(
+            config, policy, _day_type(args.day), seed=args.seed,
+            tracer=tracer,
         )
-    print(f"network traffic:  {result.traffic.network_total_mib():,.0f} MiB")
-    print(f"migrations:       {result.counters}")
-    if not config.faults.is_null:
-        print(f"fault profile:    {config.faults.name}")
-        print(f"faults:           {result.faults}")
-    if args.chart:
-        from repro.analysis import sparkline
+    else:
+        # The sharded pipeline; a 1-zone partition is the identity
+        # transform, so this prints byte-identically to the unsharded
+        # simulator (golden-tested).  With a tracer and > 1 zone only
+        # the controller's zone-tagged events are recorded — shards run
+        # in worker processes.
+        from repro.farm import simulate_zoned_day
 
-        print()
-        print("active VMs   ", sparkline(result.active_vms, width=72))
-        print("powered hosts", sparkline(
-            [float(count) for count in result.powered_hosts], width=72
-        ))
-        print("              00:00" + " " * 28 + "12:00" + " " * 29 + "24:00")
+        zoned = simulate_zoned_day(
+            config, policy, _day_type(args.day),
+            zones=args.zones, seed=args.seed,
+            runner=_make_runner(args.workers),
+            budget_w=args.budget_w, tracer=tracer,
+        )
+        result = zoned.aggregate
+    _print_day_summary(result, config, args.chart)
+    if zoned is not None and args.zones > 1:
+        _print_zone_table(zoned)
     if tracer is not None:
         from repro.obs import write_chrome_trace, write_jsonl
 
@@ -417,7 +493,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--workers", type=int, default=1,
-        help="worker processes for --runs > 1 (1 = serial)",
+        help="worker processes for --runs > 1 or --zones > 1 (1 = serial)",
+    )
+    simulate.add_argument(
+        "--zones", type=int, default=1,
+        help="shard the farm into this many availability zones "
+             "(1 = byte-identical to the unsharded simulator)",
+    )
+    simulate.add_argument(
+        "--budget-w", type=float, default=None, metavar="WATTS",
+        help="farm power budget carved into per-zone shares "
+             "(proportional to peak demand; reported per zone)",
     )
     simulate.add_argument(
         "--week", action="store_true",

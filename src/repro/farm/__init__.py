@@ -31,6 +31,15 @@ from repro.farm.sweep import (
 )
 from repro.farm.week import WeekReport, simulate_week
 from repro.farm.validate import validate_simulation
+from repro.farm.zones import (
+    GlobalController,
+    ZoneBudget,
+    ZonedFarmResult,
+    ZonePartition,
+    build_partition,
+    simulate_zoned_day,
+    zone_run_specs,
+)
 
 __all__ = [
     "FarmConfig",
@@ -55,4 +64,11 @@ __all__ = [
     "WeekReport",
     "simulate_week",
     "validate_simulation",
+    "ZonePartition",
+    "ZoneBudget",
+    "ZonedFarmResult",
+    "GlobalController",
+    "build_partition",
+    "zone_run_specs",
+    "simulate_zoned_day",
 ]

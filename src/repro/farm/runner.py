@@ -107,6 +107,11 @@ class RunOutcome:
     worker: str
     #: Whether the trace ensemble came from the per-process cache.
     ensemble_cached: bool
+    #: ``(hits, misses)`` of the executing process's ensemble cache as
+    #: of the end of this run.  Counters are reset at batch start in
+    #: every pool worker, so within one batch a worker's totals count
+    #: only that batch's runs.
+    worker_cache_stats: Tuple[int, int] = (0, 0)
 
 
 @dataclass(frozen=True)
@@ -138,14 +143,40 @@ _CACHE_MISSES = 0
 
 
 def ensemble_cache_stats() -> Tuple[int, int]:
-    """``(hits, misses)`` of this process's ensemble cache."""
+    """``(hits, misses)`` of **this process's** ensemble cache.
+
+    The cache is per-process state: calling this in the parent says
+    nothing about pool workers.  Worker-side statistics travel back on
+    :attr:`RunOutcome.worker_cache_stats`; they are reset at batch
+    start in every worker (on Linux a forked worker would otherwise
+    inherit — and keep reporting — the parent's historical counts).
+    """
     return _CACHE_HITS, _CACHE_MISSES
 
 
 def clear_ensemble_cache() -> None:
-    """Empty the cache and reset its counters (test hook)."""
+    """Empty **this process's** cache and reset its counters.
+
+    Like :func:`ensemble_cache_stats` this only touches the calling
+    process; live pool workers keep their caches.  The process backend
+    builds a fresh pool per batch, so a parent-side clear takes effect
+    on the next batch's workers (fork) or is moot (spawn).
+    """
     global _CACHE_HITS, _CACHE_MISSES
     _ENSEMBLE_CACHE.clear()
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0
+
+
+def _reset_cache_counters() -> None:
+    """Pool-worker initializer: zero the *statistics* at batch start.
+
+    Cached ensembles themselves are kept — a fork-inherited warm cache
+    is genuine reuse worth counting as hits — but counts carried over
+    from the parent's history would make cross-batch
+    ``worker_cache_stats`` unintelligible.
+    """
+    global _CACHE_HITS, _CACHE_MISSES
     _CACHE_HITS = 0
     _CACHE_MISSES = 0
 
@@ -192,6 +223,7 @@ def execute_run(spec: RunSpec) -> RunOutcome:
         wall_time_s=elapsed,
         worker=f"pid-{os.getpid()}",
         ensemble_cached=was_cached,
+        worker_cache_stats=ensemble_cache_stats(),
     )
 
 
@@ -292,14 +324,23 @@ class SweepRunner:
         self.workers = workers if backend == "process" else 1
         self.progress = progress
         self.summaries: List[SweepSummary] = []
+        self._progress_error: Optional[BaseException] = None
 
     @property
     def last_summary(self) -> Optional[SweepSummary]:
         return self.summaries[-1] if self.summaries else None
 
     def run(self, specs: Sequence[RunSpec]) -> List[RunOutcome]:
-        """Execute every spec; outcomes are returned in spec order."""
+        """Execute every spec; outcomes are returned in spec order.
+
+        A ``progress`` callback that raises cannot strand the pool or
+        misorder results: the first exception is captured, further
+        callback invocations are suppressed, the batch runs to
+        completion (summary included), and the exception is re-raised
+        here afterwards.
+        """
         specs = list(specs)
+        self._progress_error = None
         started = time.perf_counter()  # repro: noqa[DET103]
         if self.backend == "process" and len(specs) > 1:
             outcomes = self._run_process(specs)
@@ -307,6 +348,9 @@ class SweepRunner:
             outcomes = self._run_serial(specs)
         elapsed = time.perf_counter() - started  # repro: noqa[DET103]
         self.summaries.append(self._summarize(outcomes, elapsed))
+        if self._progress_error is not None:
+            error, self._progress_error = self._progress_error, None
+            raise error
         return outcomes
 
     def run_results(self, specs: Sequence[RunSpec]) -> List[FarmResult]:
@@ -326,7 +370,9 @@ class SweepRunner:
     def _run_process(self, specs: List[RunSpec]) -> List[RunOutcome]:
         outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
         completed = 0
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=self.workers, initializer=_reset_cache_counters
+        ) as pool:
             futures = [
                 pool.submit(_execute_indexed, (index, spec))
                 for index, spec in enumerate(specs)
@@ -340,8 +386,14 @@ class SweepRunner:
         return [outcome for outcome in outcomes if outcome is not None]
 
     def _report(self, completed: int, total: int, outcome: RunOutcome) -> None:
-        if self.progress is not None:
+        if self.progress is None or self._progress_error is not None:
+            return
+        try:
             self.progress(RunProgress(completed, total, outcome))
+        except Exception as error:
+            # Deferred to the end of run(): a broken observer must not
+            # abandon in-flight futures or truncate the result list.
+            self._progress_error = error
 
     # -- instrumentation -----------------------------------------------
 

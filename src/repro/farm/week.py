@@ -49,7 +49,15 @@ class WeekReport:
 
     @property
     def savings_fraction(self) -> float:
-        """Weekly savings, formed from energy totals."""
+        """Weekly savings, formed from energy totals.
+
+        0.0 for a week with no baseline energy at all (degenerate
+        zero-watt configurations): nothing consumed, nothing saved.
+        ``saved_kwh`` and ``__str__`` share the convention — neither
+        divides by the baseline.
+        """
+        if self.baseline_joules == 0.0:
+            return 0.0
         return 1.0 - self.managed_joules / self.baseline_joules
 
     @property

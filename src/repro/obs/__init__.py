@@ -20,6 +20,7 @@ from repro.obs.events import (
     CAT_POLICY,
     CAT_POWER,
     CAT_SIM,
+    CAT_ZONE,
     PHASE_BEGIN,
     PHASE_END,
     PHASE_INSTANT,
@@ -51,6 +52,7 @@ __all__ = [
     "CAT_POLICY",
     "CAT_MEMSERVER",
     "CAT_FARM",
+    "CAT_ZONE",
     "PHASE_INSTANT",
     "PHASE_BEGIN",
     "PHASE_END",

@@ -28,6 +28,7 @@ CAT_FAULT = "fault"
 CAT_POLICY = "policy"
 CAT_MEMSERVER = "memserver"
 CAT_FARM = "farm"
+CAT_ZONE = "zone"
 
 #: Span phases of an event (Chrome trace_event ``ph`` analogues).
 PHASE_INSTANT = "instant"

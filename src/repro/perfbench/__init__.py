@@ -20,6 +20,7 @@ from repro.perfbench.harness import (
     BenchCase,
     CaseResult,
     default_cases,
+    fullscale_cases,
     quick_cases,
     run_case,
     run_perfbench,
@@ -39,6 +40,7 @@ __all__ = [
     "BenchCase",
     "CaseResult",
     "default_cases",
+    "fullscale_cases",
     "quick_cases",
     "run_case",
     "run_perfbench",

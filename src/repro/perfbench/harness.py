@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import cProfile
 import io
+import os
 import pstats
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -32,6 +33,7 @@ from repro.farm.config import FarmConfig
 from repro.farm.runner import SweepRunner, clear_ensemble_cache
 from repro.farm.simulation import FarmSimulation
 from repro.farm.sweep import repetition_specs
+from repro.farm.zones import simulate_zoned_day
 from repro.simulator.randomness import RngStreams
 from repro.traces.model import DayType
 from repro.traces.sampler import TraceEnsemble, generate_ensemble
@@ -42,6 +44,7 @@ __all__ = [
     "CaseResult",
     "Clock",
     "default_cases",
+    "fullscale_cases",
     "quick_cases",
     "run_case",
     "run_perfbench",
@@ -50,7 +53,7 @@ __all__ = [
 #: Injected wall-clock reader (e.g. ``time.perf_counter``).
 Clock = Callable[[], float]
 
-_KINDS = ("simulate_day", "sweep")
+_KINDS = ("simulate_day", "sweep", "zoned_day")
 
 
 @dataclass(frozen=True)
@@ -69,6 +72,8 @@ class BenchCase:
     repeats: int = 3
     #: ``sweep``: independent day-runs in the serial batch.
     runs: int = 4
+    #: ``zoned_day``: availability zones the farm is sharded into.
+    zones: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -77,6 +82,8 @@ class BenchCase:
             )
         if self.repeats < 1 or self.runs < 1:
             raise ConfigError("repeats and runs must be >= 1")
+        if self.zones < 1:
+            raise ConfigError("zones must be >= 1")
 
     def farm_config(self) -> FarmConfig:
         return FarmConfig(
@@ -97,6 +104,7 @@ class BenchCase:
             "vms_per_host": self.vms_per_host,
             "repeats": self.repeats,
             "runs": self.runs,
+            "zones": self.zones,
             "total_vms": self.home_hosts * self.vms_per_host,
         }
 
@@ -119,6 +127,11 @@ def quick_cases() -> List[BenchCase]:
                   "weekday", 0, 4, 2, 4, repeats=3),
         BenchCase("sweep/16vms", "sweep", "Default",
                   "weekday", 0, 4, 2, 4, runs=4),
+        # The first scale tier: a 5k-VM farm sharded 8 ways, shards
+        # fanned out over worker processes (one repeat keeps the quick
+        # set quick).
+        BenchCase("zoned/Default/5k-8z", "zoned_day", "Default",
+                  "weekday", 0, 168, 16, 30, repeats=1, zones=8),
     ]
 
 
@@ -138,7 +151,23 @@ def default_cases() -> List[BenchCase]:
         BenchCase("sweep/900vms", "sweep", "Default",
                   "weekday", 0, 30, 4, 30, runs=3)
     )
+    cases.append(
+        # The second scale tier: 20k VMs over four zones (the
+        # acceptance shape of the zoned pipeline).
+        BenchCase("zoned/Default/20k-4z", "zoned_day", "Default",
+                  "weekday", 0, 668, 16, 30, repeats=1, zones=4)
+    )
     return cases
+
+
+def fullscale_cases() -> List[BenchCase]:
+    """The 100k-VM tier; minutes of wall time, so it is not part of
+    ``default_cases`` — ``tests/test_farm_zones.py`` runs it behind the
+    ``fullscale`` pytest marker."""
+    return [
+        BenchCase("zoned/Default/100k-16z", "zoned_day", "Default",
+                  "weekday", 0, 3336, 32, 30, repeats=1, zones=16),
+    ]
 
 
 def _trace_seed(seed: int) -> int:
@@ -225,10 +254,50 @@ def _run_sweep(clock: Clock, case: BenchCase) -> CaseResult:
     return CaseResult(case, timing, fingerprint)
 
 
+def _run_zoned_day(clock: Clock, case: BenchCase) -> CaseResult:
+    """Time the whole zoned pipeline: partition, shard fan-out (process
+    backend when zones > 1), and aggregation."""
+    config = case.farm_config()
+    policy = policy_by_name(case.policy)
+    runs_s: List[float] = []
+    zoned = None
+    for _ in range(case.repeats):
+        clear_ensemble_cache()  # identical cache behaviour on every run
+        runner = (
+            SweepRunner(
+                backend="process",
+                workers=min(case.zones, os.cpu_count() or 1),
+            )
+            if case.zones > 1 else SweepRunner()
+        )
+        started = clock()
+        zoned = simulate_zoned_day(
+            config, policy, DayType(case.day),
+            zones=case.zones, seed=case.seed, runner=runner,
+        )
+        runs_s.append(clock() - started)
+    best_s = min(runs_s)
+    vm_intervals = config.total_vms * INTERVALS_PER_DAY
+    timing = {
+        "runs_s": runs_s,
+        "best_s": best_s,
+        "mean_s": sum(runs_s) / len(runs_s),
+        "vm_intervals_per_sec": (
+            vm_intervals / best_s if best_s > 0.0 else 0.0
+        ),
+    }
+    fingerprint = dict(_day_fingerprint(zoned.aggregate))
+    fingerprint["zones"] = case.zones
+    fingerprint["zone_managed_joules"] = zoned.zone_managed_joules()
+    return CaseResult(case, timing, fingerprint)
+
+
 def run_case(clock: Clock, case: BenchCase) -> CaseResult:
     """Execute one case; all wall time flows through ``clock``."""
     if case.kind == "simulate_day":
         return _run_simulate_day(clock, case)
+    if case.kind == "zoned_day":
+        return _run_zoned_day(clock, case)
     return _run_sweep(clock, case)
 
 

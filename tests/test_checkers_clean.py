@@ -64,3 +64,46 @@ class TestProjectModeIsClean:
         assert not warm.findings
         assert warm.cache_misses == 0
         assert warm.cache_hits == cold.cache_misses
+
+
+class TestZoneScopeCoverage:
+    """The zoned-simulation module is inside every checker scope.
+
+    ``repro.farm.zones`` produces figure-feeding energy numbers, so it
+    must sit inside the DET pack's :data:`SIMULATION_PACKAGES` and the
+    whole-program FLOW scope.  Both cover it today through the
+    ``repro.farm`` prefix; these tests pin the contract so a future
+    scope refactor cannot silently drop the shard coordinator from the
+    determinism gate.
+    """
+
+    def test_det_scope_includes_zones(self):
+        import ast
+
+        from repro.checkers.base import ModuleContext
+        from repro.checkers.rules.determinism import SIMULATION_PACKAGES
+
+        ctx = ModuleContext(
+            module_name="repro.farm.zones",
+            path="src/repro/farm/zones.py",
+            tree=ast.parse(""),
+            source="",
+        )
+        assert ctx.in_packages(SIMULATION_PACKAGES)
+
+    def test_flow_scope_includes_zones(self):
+        from repro.checkers.flow.rules_flow import _in_flow_scope
+
+        assert _in_flow_scope("repro.farm.zones")
+        assert not _in_flow_scope("repro.checkers.flow.rules_flow")
+
+    def test_flow_linker_sees_the_zone_partition_draws(self):
+        # Non-vacuity: the whole-program pass must actually observe the
+        # zones module (its shuffle draw and partition classes), not
+        # skip it as out-of-tree.
+        result = check_project([PACKAGE_ROOT])
+        ctx = result.context
+        assert ctx is not None
+        assert any(
+            dotted.startswith("repro.farm.zones.") for dotted in ctx.classes
+        ), "expected ZonePartition in the linked project"

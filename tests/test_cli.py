@@ -150,3 +150,51 @@ class TestSimulateCommand:
         out = capsys.readouterr().out
         assert "energy savings" in out
         assert "home-host sleep" in out
+
+
+class TestZonedSimulateCommand:
+    def test_parser_zone_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.zones == 1
+        assert args.budget_w is None
+
+    def test_zero_zones_rejected(self, capsys):
+        assert main(["simulate", "--zones", "0"]) == 2
+        assert "--zones must be >= 1" in capsys.readouterr().err
+
+    def test_zones_incompatible_with_week(self, capsys):
+        assert main(["simulate", "--zones", "2", "--week"]) == 2
+        assert "drop --week and --runs" in capsys.readouterr().err
+
+    def test_zones_incompatible_with_runs(self, capsys):
+        assert main(["simulate", "--zones", "2", "--runs", "2"]) == 2
+        assert "drop --week and --runs" in capsys.readouterr().err
+
+    def test_zoned_run_prints_zone_table(self, capsys):
+        code = main([
+            "simulate",
+            "--home-hosts", "4",
+            "--consolidation-hosts", "2",
+            "--vms-per-host", "4",
+            "--zones", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "energy savings" in out  # the aggregate day summary
+        for header in ("zone", "homes", "cons", "savings", "share W"):
+            assert header in out
+        assert "budget:" not in out  # no --budget-w, no budget line
+
+    def test_budget_line_reports_status(self, capsys):
+        code = main([
+            "simulate",
+            "--home-hosts", "4",
+            "--consolidation-hosts", "2",
+            "--vms-per-host", "4",
+            "--zones", "2",
+            "--budget-w", "100000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "budget:           100000 W across 2 zones" in out
+        assert "all zones within budget" in out

@@ -60,3 +60,32 @@ def test_cli_stdout_matches_golden(goldens, policy_name):
     assert simulate_stdout(policy_name, pinned["seed"]) == (
         pinned["simulate_stdout"]
     )
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICY_SEEDS))
+def test_explicit_single_zone_stdout_matches_golden(goldens, policy_name):
+    """``--zones 1`` must be byte-identical to the pre-shard golden.
+
+    The single-zone partition is the identity transform: same seed, same
+    host ids, same RNG streams — so sharding one zone may not perturb a
+    single byte of the pinned stdout (goldens unregenerated).
+    """
+    import contextlib
+    import io
+
+    from repro.cli import main
+
+    pinned = goldens["policies"][policy_name]
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        status = main([
+            "simulate",
+            "--policy", policy_name,
+            "--seed", str(pinned["seed"]),
+            "--home-hosts", str(FARM_SHAPE["home_hosts"]),
+            "--consolidation-hosts", str(FARM_SHAPE["consolidation_hosts"]),
+            "--vms-per-host", str(FARM_SHAPE["vms_per_host"]),
+            "--zones", "1",
+        ])
+    assert status == 0
+    assert buffer.getvalue() == pinned["simulate_stdout"]

@@ -241,6 +241,92 @@ class TestInstrumentation:
         assert sorted(p.completed for p in seen) == [1, 2, 3]
 
 
+class TestProgressCallbackErrors:
+    """A throwing observer must not strand the pool or eat the batch."""
+
+    def test_serial_batch_completes_before_error_surfaces(self):
+        specs = specs_matrix()[:3]
+
+        def boom(progress):
+            raise ValueError(f"bad observer at {progress.completed}")
+
+        runner = SweepRunner(progress=boom)
+        with pytest.raises(ValueError, match="bad observer at 1"):
+            runner.run(specs)
+        assert runner.last_summary.runs == len(specs)
+
+    def test_process_pool_drains_and_error_is_deferred(self):
+        specs = specs_matrix()[:4]
+        calls = []
+
+        def boom(progress):
+            calls.append(progress.completed)
+            raise ValueError("bad observer")
+
+        runner = SweepRunner(backend="process", workers=2, progress=boom)
+        with pytest.raises(ValueError, match="bad observer"):
+            runner.run(specs)
+        # Only the first invocation fired; the batch still ran to
+        # completion and was summarized before the error surfaced.
+        assert calls == [1]
+        assert runner.last_summary.runs == len(specs)
+
+    def test_runner_stays_usable_after_a_callback_error(self):
+        specs = specs_matrix()[:3]
+        state = {"raised": False}
+
+        def flaky(progress):
+            if not state["raised"]:
+                state["raised"] = True
+                raise RuntimeError("one bad call")
+
+        runner = SweepRunner(progress=flaky)
+        with pytest.raises(RuntimeError):
+            runner.run(specs)
+        outcomes = runner.run(specs)
+        assert [outcome.spec for outcome in outcomes] == specs
+
+
+class TestWorkerCacheCounters:
+    """Per-process cache statistics must not leak across processes."""
+
+    def test_worker_counters_reset_at_batch_start(self):
+        # Prime the parent's counters: on Linux the pool forks, so
+        # without the batch-start reset every worker would inherit
+        # these three hits and three misses.
+        clear_ensemble_cache()
+        for seed in (21, 22, 23):
+            spec = RunSpec(small_config(), FULL_TO_PARTIAL,
+                           DayType.WEEKDAY, seed)
+            _ensemble_for(spec)
+            _ensemble_for(spec)
+        assert ensemble_cache_stats() == (3, 3)
+        specs = specs_matrix()
+        outcomes = SweepRunner(backend="process", workers=2).run(specs)
+        per_worker = {}
+        for outcome in outcomes:
+            per_worker.setdefault(outcome.worker, []).append(outcome)
+        for worker_outcomes in per_worker.values():
+            # Each run performs exactly one cache lookup, so a worker's
+            # (hits + misses) after its k-th run is exactly k — parent
+            # history would inflate every total by six.
+            totals = sorted(
+                sum(outcome.worker_cache_stats)
+                for outcome in worker_outcomes
+            )
+            assert totals == list(range(1, len(worker_outcomes) + 1))
+        # The batch ran in workers; the parent's own counters are
+        # untouched (per-process semantics).
+        assert ensemble_cache_stats() == (3, 3)
+
+    def test_serial_outcomes_carry_parent_stats(self):
+        clear_ensemble_cache()
+        spec = RunSpec(small_config(), FULL_TO_PARTIAL, DayType.WEEKDAY, 31)
+        outcomes = SweepRunner().run([spec, spec])
+        assert outcomes[0].worker_cache_stats == (0, 1)
+        assert outcomes[1].worker_cache_stats == (1, 1)
+
+
 class TestValidation:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigError):
