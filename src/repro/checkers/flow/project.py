@@ -614,6 +614,36 @@ class ProjectContext:
             return None
         return None
 
+    def _method_overrides(self, callee_key: FuncKey) -> List[FuncKey]:
+        """Subclass implementations of an abstract method (virtual dispatch).
+
+        A call resolved to an ``@abstractmethod`` stub never executes the
+        stub at runtime — it dispatches to whichever concrete override
+        the receiver carries.  Binding the stub alone would strand every
+        argument at a body-less function (RNG tokens would never reach
+        the implementations' parameters), so the stub's bindings are
+        mirrored onto every override in the linked project.
+        """
+        callee = self.functions.get(callee_key)
+        if callee is None or "abstractmethod" not in callee.decorators:
+            return []
+        owner = self.owner_class(callee_key)
+        if owner is None:
+            return []
+        name = callee.qual.rsplit(".", 1)[-1]
+        overrides: List[FuncKey] = []
+        for dotted in sorted(self.classes):
+            if dotted == owner or owner not in self.mro(dotted):
+                continue
+            method = self.find_method(dotted, name)
+            if (
+                method is not None
+                and method != callee_key
+                and method not in overrides
+            ):
+                overrides.append(method)
+        return overrides
+
     def _iter_call_bindings(
         self, func_key: FuncKey, call: CallSite
     ) -> Iterator[Tuple[FuncKey, str, Desc]]:
@@ -627,18 +657,19 @@ class ProjectContext:
             callee_key = self.find_method(target[1], "__init__")
         if callee_key is None:
             return
-        callee = self.functions.get(callee_key)
-        if callee is None:
-            return
-        params = list(callee.params)
-        if callee.kind in ("method", "classmethod") and params:
-            params = params[1:]
-        for position, arg in enumerate(call.args):
-            if position < len(params):
-                yield callee_key, params[position], arg
-        for name, arg in call.kwargs:
-            if name in callee.params:
-                yield callee_key, name, arg
+        for target_key in [callee_key, *self._method_overrides(callee_key)]:
+            callee = self.functions.get(target_key)
+            if callee is None:
+                continue
+            params = list(callee.params)
+            if callee.kind in ("method", "classmethod") and params:
+                params = params[1:]
+            for position, arg in enumerate(call.args):
+                if position < len(params):
+                    yield target_key, params[position], arg
+            for name, arg in call.kwargs:
+                if name in callee.params:
+                    yield target_key, name, arg
 
     def _run_fixpoint(self) -> None:
         for _ in range(_MAX_ITERATIONS):

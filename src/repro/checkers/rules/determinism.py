@@ -22,6 +22,7 @@ SIMULATION_PACKAGES = (
     "repro.simulator",
     "repro.farm",
     "repro.core",
+    "repro.policies",
     "repro.traces",
     "repro.vm",
     "repro.migration",

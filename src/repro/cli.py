@@ -29,7 +29,8 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import Cdf, format_percent, format_table
-from repro.core import policy_by_name, ALL_POLICIES
+from repro.core import ALL_POLICIES, strategy_by_name, strategy_names
+from repro.errors import ConfigError
 from repro.farm import FarmConfig, SweepRunner, simulate_day
 from repro.faults import FAULT_PROFILE_NAMES, fault_profile_by_name
 from repro.traces import (
@@ -134,6 +135,17 @@ def _print_zone_table(zoned) -> None:
               f"{zoned.zones} zones ({status})")
 
 
+def _resolve_cli_policy(args: argparse.Namespace):
+    """The strategy named by ``--policy`` (plus ``--gamma``, if given)."""
+    name = args.policy
+    gamma = getattr(args, "gamma", None)
+    if gamma is not None:
+        if name.lower() != "gammarobust":
+            raise ConfigError("--gamma only applies to --policy GammaRobust")
+        name = f"GammaRobust@{gamma}"
+    return strategy_by_name(name)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = FarmConfig(
         home_hosts=args.home_hosts,
@@ -141,7 +153,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         vms_per_host=args.vms_per_host,
         faults=fault_profile_by_name(args.fault_profile),
     )
-    policy = policy_by_name(args.policy)
+    try:
+        policy = _resolve_cli_policy(args)
+    except ConfigError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     if args.zones < 1:
         print("--zones must be >= 1", file=sys.stderr)
         return 2
@@ -247,7 +263,7 @@ def _simulate_repetitions(
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.farm import consolidation_host_sweep
+    from repro.farm import consolidation_host_sweep, gamma_sweep
 
     try:
         counts = tuple(
@@ -265,12 +281,41 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         home_hosts=args.home_hosts,
         consolidation_hosts=counts[0],
         vms_per_host=args.vms_per_host,
+        faults=fault_profile_by_name(args.fault_profile),
     )
     policies = (
         list(ALL_POLICIES) if args.policy == "all"
-        else [policy_by_name(args.policy)]
+        else [strategy_by_name(args.policy)]
     )
     runner = _make_runner(args.workers)
+    if args.gamma is not None:
+        try:
+            gammas = tuple(
+                int(part) for part in args.gamma.split(",") if part
+            )
+        except ValueError:
+            print(f"bad --gamma {args.gamma!r}; expected e.g. 0,1,2",
+                  file=sys.stderr)
+            return 2
+        if not gammas:
+            print("--gamma must name at least one Γ value", file=sys.stderr)
+            return 2
+        try:
+            rows_by_name = gamma_sweep(
+                config, gammas, _day_type(args.day), baselines=policies,
+                runs=args.runs, base_seed=args.seed, runner=runner,
+            )
+        except ConfigError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(format_table(
+            ["policy", f"savings ({counts[0]} cons hosts)"],
+            [(name, f"{format_percent(point.mean_savings)}"
+                    f"±{format_percent(point.std_savings)}")
+             for name, point in rows_by_name],
+        ))
+        print(f"\ntiming: {runner.last_summary}")
+        return 0
     sweep = consolidation_host_sweep(
         config, policies, _day_type(args.day),
         consolidation_counts=counts, runs=args.runs, base_seed=args.seed,
@@ -364,6 +409,10 @@ def _cmd_micro(args: argparse.Namespace) -> int:
         ))
         print(f"\npre-fetching the whole VM instead: "
               f"{prefetch_alternative_s():.1f} s")
+    elif name == "gamma":
+        from repro.policies import oracle_gap_report, render_gap_report
+
+        print(render_gap_report(oracle_gap_report()))
     else:
         print(f"unknown micro table {name!r}", file=sys.stderr)
         return 2
@@ -480,8 +529,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser("simulate", help="run one trace-driven day")
     simulate.add_argument(
-        "--policy", default="FulltoPartial",
-        choices=[p.name for p in ALL_POLICIES],
+        "--policy", default="FulltoPartial", choices=strategy_names(),
+    )
+    simulate.add_argument(
+        "--gamma", type=int, default=None, metavar="N",
+        help="Γ for --policy GammaRobust: plan each host as if its N "
+             "spikiest consolidated VMs hit their demand-interval "
+             "maximum simultaneously",
     )
     simulate.add_argument(
         "--day", default="weekday", choices=["weekday", "weekend"]
@@ -538,7 +592,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--policy", default="all",
-        choices=["all"] + [p.name for p in ALL_POLICIES],
+        choices=["all"] + strategy_names(),
+        help="baseline policy (or 'all' for the paper's four)",
+    )
+    sweep.add_argument(
+        "--gamma", default=None, metavar="G1,G2",
+        help="comma-separated Γ values: run GammaRobust@Γ for each, "
+             "next to the --policy baselines, at the first "
+             "--consolidation-counts shape",
+    )
+    sweep.add_argument(
+        "--fault-profile", default="none", choices=list(FAULT_PROFILE_NAMES),
+        help="inject failures at the named rates in every sweep run",
     )
     sweep.add_argument(
         "--day", default="weekday", choices=["weekday", "weekend"]
@@ -560,7 +625,8 @@ def build_parser() -> argparse.ArgumentParser:
     micro = sub.add_parser("micro", help="print a micro-benchmark table")
     micro.add_argument(
         "table",
-        choices=["table1", "fig1", "fig2", "fig5", "fig6", "traffic"],
+        choices=["table1", "fig1", "fig2", "fig5", "fig6", "traffic",
+                 "gamma"],
     )
     micro.add_argument("--seed", type=int, default=0)
     micro.set_defaults(handler=_cmd_micro)

@@ -34,6 +34,17 @@ from repro.core.plan import (
     PlannedMigration,
 )
 from repro.core.placement import GreedyVacatePlanner, DestinationStrategy
+from repro.core.strategies import (
+    GreedyStrategy,
+    PlacementStrategy,
+    PolicyLike,
+    register_family,
+    register_strategy,
+    resolve_strategy,
+    strategy_by_name,
+    strategy_names,
+    unregister_strategy,
+)
 from repro.core.manager import ClusterManager
 
 __all__ = [
@@ -53,5 +64,14 @@ __all__ = [
     "PlannedMigration",
     "GreedyVacatePlanner",
     "DestinationStrategy",
+    "GreedyStrategy",
+    "PlacementStrategy",
+    "PolicyLike",
+    "register_family",
+    "register_strategy",
+    "resolve_strategy",
+    "strategy_by_name",
+    "strategy_names",
+    "unregister_strategy",
     "ClusterManager",
 ]

@@ -13,17 +13,18 @@ import random
 from typing import List, Optional
 
 from repro.cluster.topology import Cluster
-from repro.core.placement import DestinationStrategy, GreedyVacatePlanner
+from repro.core.placement import DestinationStrategy
 from repro.core.plan import (
     ActivationAction,
     ActivationDecision,
     ConsolidationPlan,
     ExchangePlan,
 )
-from repro.core.policies import PolicySpec
+from repro.core.strategies import PolicyLike, resolve_strategy
 from repro.errors import MigrationError
 from repro.obs.events import CAT_POLICY
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.simulator.randomness import RngStreams
 from repro.vm.machine import VirtualMachine
 from repro.vm.state import Residency
 from repro.vm.workingset import WorkingSetSampler
@@ -35,27 +36,30 @@ class ClusterManager:
     def __init__(
         self,
         cluster: Cluster,
-        policy: PolicySpec,
+        policy: PolicyLike,
         working_sets: Optional[WorkingSetSampler] = None,
         rng: Optional[random.Random] = None,
         min_idle_intervals: int = 1,
         strategy: DestinationStrategy = DestinationStrategy.RANDOM,
         tracer: Optional[Tracer] = None,
+        streams: Optional[RngStreams] = None,
     ) -> None:
+        resolved = resolve_strategy(policy)
         self.cluster = cluster
-        self.policy = policy
+        self.placement_strategy = resolved
+        self.policy = resolved.spec
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.working_sets = (
             working_sets if working_sets is not None else WorkingSetSampler()
         )
         self.rng = rng if rng is not None else random.Random(0)
         self.min_idle_intervals = min_idle_intervals
-        self.planner = GreedyVacatePlanner(
-            policy=policy,
+        self.planner = resolved.build_planner(
             working_sets=self.working_sets,
             rng=self.rng,
             min_idle_intervals=min_idle_intervals,
-            strategy=strategy,
+            destination=strategy,
+            streams=streams,
         )
 
     # -- periodic planning ------------------------------------------------

@@ -26,6 +26,7 @@ from repro.farm.sweep import (
     memory_server_power_sweep,
     cluster_shape_sweep,
     fault_rate_sweep,
+    gamma_sweep,
     repetition_specs,
     run_repetitions,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "memory_server_power_sweep",
     "cluster_shape_sweep",
     "fault_rate_sweep",
+    "gamma_sweep",
     "repetition_specs",
     "run_repetitions",
     "WeekReport",

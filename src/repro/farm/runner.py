@@ -39,7 +39,7 @@ from dataclasses import dataclass
 from statistics import mean
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.policies import PolicySpec
+from repro.core.strategies import PolicyLike, resolve_strategy
 from repro.errors import ConfigError
 from repro.farm.config import FarmConfig
 from repro.farm.metrics import FarmResult
@@ -70,7 +70,7 @@ class RunSpec:
     """One independent day-simulation, fully described and picklable."""
 
     config: FarmConfig
-    policy: PolicySpec
+    policy: PolicyLike
     day_type: DayType
     seed: int
     #: Free-form grouping tag (e.g. the sweep point the run belongs to).
@@ -78,7 +78,7 @@ class RunSpec:
 
     @property
     def policy_name(self) -> str:
-        return self.policy.name
+        return resolve_strategy(self.policy).name
 
     @property
     def trace_seed(self) -> int:

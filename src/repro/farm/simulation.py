@@ -44,7 +44,7 @@ from repro.core.plan import (
     HostVacatePlan,
     MigrationMode,
 )
-from repro.core.policies import PolicySpec
+from repro.core.strategies import PolicyLike, resolve_strategy
 from repro.energy.accounting import EnergyAccountant, StateTimeTracker
 from repro.energy.report import EnergyReport, baseline_energy_joules
 from repro.errors import CapacityError, ConfigError, SimulationError
@@ -82,7 +82,7 @@ class FarmSimulation:
     def __init__(
         self,
         config: FarmConfig,
-        policy: PolicySpec,
+        policy: PolicyLike,
         ensemble: TraceEnsemble,
         seed: int = 0,
         tracer: Optional[Tracer] = None,
@@ -92,8 +92,10 @@ class FarmSimulation:
                 f"ensemble has {len(ensemble)} users; the configuration "
                 f"needs {config.total_vms} (one VM per user)"
             )
+        strategy = resolve_strategy(policy)
         self.config = config
-        self.policy = policy
+        self.strategy = strategy
+        self.policy = strategy.spec
         self.ensemble = ensemble
         self.seed = seed
         self.streams = RngStreams(seed)
@@ -131,12 +133,13 @@ class FarmSimulation:
 
         self.manager = ClusterManager(
             cluster=self.cluster,
-            policy=policy,
+            policy=strategy,
             working_sets=config.working_sets,
             rng=self.streams.get("manager"),
             min_idle_intervals=config.min_idle_intervals,
             strategy=config.placement_strategy,
             tracer=self.tracer,
+            streams=self.streams,
         )
 
         # All VMs share one interval clock: quiet VMs' idle streaks grow
@@ -151,7 +154,7 @@ class FarmSimulation:
             self.cluster.host(home_id).attach(vm)
 
         self.result = FarmResult(
-            policy_name=policy.name,
+            policy_name=strategy.name,
             day_type=ensemble.day_type.value,
             seed=seed,
             horizon_s=SECONDS_PER_DAY,
@@ -250,7 +253,7 @@ class FarmSimulation:
             if self.tracer.enabled:
                 with self.tracer.span(
                     "farm.day", CAT_FARM,
-                    policy=self.policy.name,
+                    policy=self.strategy.name,
                     day_type=self.ensemble.day_type.value,
                     seed=self.seed,
                 ):
@@ -1691,7 +1694,7 @@ class FarmSimulation:
 
 def simulate_day(
     config: FarmConfig,
-    policy: PolicySpec,
+    policy: PolicyLike,
     day_type: DayType,
     seed: int = 0,
     ensemble: Optional[TraceEnsemble] = None,

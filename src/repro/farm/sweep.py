@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from statistics import mean, pstdev
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.policies import PolicySpec
+from repro.core.strategies import PolicyLike, resolve_strategy, strategy_by_name
 from repro.energy.profile import MemoryServerProfile
 from repro.errors import ConfigError
 from repro.farm.config import FarmConfig
@@ -56,7 +56,7 @@ def _require_runs(runs: int) -> None:
 
 def repetition_specs(
     config: FarmConfig,
-    policy: PolicySpec,
+    policy: PolicyLike,
     day_type: DayType,
     runs: int = 5,
     base_seed: int = 0,
@@ -82,7 +82,7 @@ def _aggregate(label: str, results: Sequence[FarmResult]) -> SweepPoint:
 
 def run_repetitions(
     config: FarmConfig,
-    policy: PolicySpec,
+    policy: PolicyLike,
     day_type: DayType,
     runs: int = 5,
     base_seed: int = 0,
@@ -95,7 +95,7 @@ def run_repetitions(
 
 def average_savings(
     config: FarmConfig,
-    policy: PolicySpec,
+    policy: PolicyLike,
     day_type: DayType,
     runs: int = 5,
     base_seed: int = 0,
@@ -103,40 +103,47 @@ def average_savings(
     runner: Optional[SweepRunner] = None,
 ) -> SweepPoint:
     """Mean/stddev energy savings over repeated runs."""
-    results = run_repetitions(config, policy, day_type, runs, base_seed,
+    strategy = resolve_strategy(policy)
+    results = run_repetitions(config, strategy, day_type, runs, base_seed,
                               runner=runner)
     return _aggregate(
-        label if label is not None else f"{policy.name}/{day_type.value}",
+        label if label is not None else f"{strategy.name}/{day_type.value}",
         results,
     )
 
 
 def consolidation_host_sweep(
     config: FarmConfig,
-    policies: Sequence[PolicySpec],
+    policies: Sequence[PolicyLike],
     day_type: DayType,
     consolidation_counts: Sequence[int] = (2, 4, 6, 8, 10, 12),
     runs: int = 5,
     base_seed: int = 0,
     runner: Optional[SweepRunner] = None,
 ) -> Dict[str, List[Tuple[int, SweepPoint]]]:
-    """Figure 8: savings vs number of consolidation hosts per policy."""
+    """Figure 8: savings vs number of consolidation hosts per policy.
+
+    ``policies`` is any mix of specs, registered strategies, or registry
+    names — nothing here assumes the paper's four; the result dict is
+    keyed by each strategy's display name.
+    """
     _require_runs(runs)
+    strategies = [resolve_strategy(policy) for policy in policies]
     specs: List[RunSpec] = []
-    for policy in policies:
+    for strategy in strategies:
         for count in consolidation_counts:
             specs.extend(repetition_specs(
                 config.with_overrides(consolidation_hosts=count),
-                policy,
+                strategy,
                 day_type,
                 runs=runs,
                 base_seed=base_seed,
-                label=f"{policy.name}/{count} consolidation hosts",
+                label=f"{strategy.name}/{count} consolidation hosts",
             ))
     results = _default_runner(runner).run_results(specs)
     sweep: Dict[str, List[Tuple[int, SweepPoint]]] = {}
     cursor = 0
-    for policy in policies:
+    for strategy in strategies:
         series: List[Tuple[int, SweepPoint]] = []
         for count in consolidation_counts:
             chunk = results[cursor:cursor + runs]
@@ -144,16 +151,16 @@ def consolidation_host_sweep(
             series.append((
                 count,
                 _aggregate(
-                    f"{policy.name}/{count} consolidation hosts", chunk
+                    f"{strategy.name}/{count} consolidation hosts", chunk
                 ),
             ))
-        sweep[policy.name] = series
+        sweep[strategy.name] = series
     return sweep
 
 
 def memory_server_power_sweep(
     config: FarmConfig,
-    policy: PolicySpec,
+    policy: PolicyLike,
     watts_options: Sequence[float] = (42.2, 16.0, 8.0, 4.0, 2.0, 1.0),
     runs: int = 5,
     base_seed: int = 0,
@@ -189,7 +196,7 @@ def memory_server_power_sweep(
 
 def fault_rate_sweep(
     config: FarmConfig,
-    policy: PolicySpec,
+    policy: PolicyLike,
     day_type: DayType,
     base_profile: Optional[FaultProfile] = None,
     scale_factors: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 4.0),
@@ -233,7 +240,7 @@ def fault_rate_sweep(
 
 def cluster_shape_sweep(
     config: FarmConfig,
-    policy: PolicySpec,
+    policy: PolicyLike,
     day_type: DayType,
     shapes: Sequence[Tuple[int, int]] = (
         (30, 2), (30, 4), (30, 6), (30, 8), (30, 10), (30, 12),
@@ -278,4 +285,43 @@ def cluster_shape_sweep(
     for index, label in enumerate(labels):
         chunk = results[index * runs:(index + 1) * runs]
         rows.append((label, _aggregate(label, chunk)))
+    return rows
+
+
+def gamma_sweep(
+    config: FarmConfig,
+    gammas: Sequence[int],
+    day_type: DayType,
+    baselines: Sequence[PolicyLike] = (),
+    runs: int = 5,
+    base_seed: int = 0,
+    runner: Optional[SweepRunner] = None,
+) -> List[Tuple[str, SweepPoint]]:
+    """Γ-robustness sweep: baselines side by side with ``GammaRobust@Γ``.
+
+    Each baseline policy and each ``GammaRobust`` instantiation runs the
+    same ``runs`` seeded days on the same ``config`` (fault injection
+    rides along through ``config.faults``), so the rows isolate the
+    packing policy.  Robust instantiations are resolved through the
+    strategy registry by name, exactly as the CLI would.
+    """
+    _require_runs(runs)
+    strategies = [resolve_strategy(policy) for policy in baselines]
+    for gamma in gammas:
+        if gamma < 0:
+            raise ConfigError(
+                f"gamma values must be non-negative, got {gamma}"
+            )
+        strategies.append(strategy_by_name(f"GammaRobust@{int(gamma)}"))
+    specs: List[RunSpec] = []
+    for strategy in strategies:
+        specs.extend(repetition_specs(
+            config, strategy, day_type, runs=runs, base_seed=base_seed,
+            label=strategy.name,
+        ))
+    results = _default_runner(runner).run_results(specs)
+    rows: List[Tuple[str, SweepPoint]] = []
+    for index, strategy in enumerate(strategies):
+        chunk = results[index * runs:(index + 1) * runs]
+        rows.append((strategy.name, _aggregate(strategy.name, chunk)))
     return rows

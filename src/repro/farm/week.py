@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.core.policies import PolicySpec
+from repro.core.strategies import PolicyLike
 from repro.errors import ConfigError
 from repro.farm.config import FarmConfig
 from repro.farm.metrics import FarmResult
@@ -78,7 +78,7 @@ class WeekReport:
 
 def simulate_week(
     config: FarmConfig,
-    policy: PolicySpec,
+    policy: PolicyLike,
     seed: int = 0,
     weekdays: int = 5,
     weekend_days: int = 2,

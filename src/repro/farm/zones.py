@@ -41,7 +41,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.policies import PolicySpec
+from repro.core.strategies import PolicyLike
 from repro.energy.report import EnergyReport
 from repro.errors import ConfigError, SimulationError
 from repro.farm.config import FarmConfig
@@ -207,7 +207,7 @@ def build_partition(
 def zone_run_specs(
     partition: ZonePartition,
     config: FarmConfig,
-    policy: PolicySpec,
+    policy: PolicyLike,
     day_type: DayType,
 ) -> List[Tuple[int, RunSpec]]:
     """One :class:`RunSpec` per non-empty zone, in zone order."""
@@ -442,7 +442,7 @@ class GlobalController:
     def __init__(
         self,
         config: FarmConfig,
-        policy: PolicySpec,
+        policy: PolicyLike,
         day_type: DayType,
         zones: int = 1,
         seed: int = 0,
@@ -592,7 +592,7 @@ class GlobalController:
 
 def simulate_zoned_day(
     config: FarmConfig,
-    policy: PolicySpec,
+    policy: PolicyLike,
     day_type: DayType,
     zones: int = 1,
     seed: int = 0,

@@ -27,7 +27,7 @@ import pstats
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core import policy_by_name
+from repro.core import strategy_by_name
 from repro.errors import ConfigError
 from repro.farm.config import FarmConfig
 from repro.farm.runner import SweepRunner, clear_ensemble_cache
@@ -147,6 +147,15 @@ def default_cases() -> List[BenchCase]:
             BenchCase(f"day/{policy}/900vms", "simulate_day", policy,
                       "weekday", 0, 30, 4, 30, repeats=3)
         )
+    for gamma in (1, 3):
+        # The robust planner's nlargest-per-candidate-bin inner loop is
+        # the new hot path; pin it at the headline scale for both a
+        # light and a heavy Γ.
+        cases.append(
+            BenchCase(f"day/GammaRobust@{gamma}/900vms", "simulate_day",
+                      f"GammaRobust@{gamma}", "weekday", 0, 30, 4, 30,
+                      repeats=3)
+        )
     cases.append(
         BenchCase("sweep/900vms", "sweep", "Default",
                   "weekday", 0, 30, 4, 30, runs=3)
@@ -202,7 +211,7 @@ def _day_fingerprint(result) -> Dict[str, object]:
 
 def _run_simulate_day(clock: Clock, case: BenchCase) -> CaseResult:
     config = case.farm_config()
-    policy = policy_by_name(case.policy)
+    policy = strategy_by_name(case.policy)
     started = clock()
     ensemble = _build_ensemble(case, config)
     ensemble_s = clock() - started
@@ -229,7 +238,7 @@ def _run_simulate_day(clock: Clock, case: BenchCase) -> CaseResult:
 
 def _run_sweep(clock: Clock, case: BenchCase) -> CaseResult:
     config = case.farm_config()
-    policy = policy_by_name(case.policy)
+    policy = strategy_by_name(case.policy)
     specs = repetition_specs(
         config, policy, DayType(case.day), runs=case.runs,
         base_seed=case.seed,
@@ -258,7 +267,7 @@ def _run_zoned_day(clock: Clock, case: BenchCase) -> CaseResult:
     """Time the whole zoned pipeline: partition, shard fan-out (process
     backend when zones > 1), and aggregation."""
     config = case.farm_config()
-    policy = policy_by_name(case.policy)
+    policy = strategy_by_name(case.policy)
     runs_s: List[float] = []
     zoned = None
     for _ in range(case.repeats):
@@ -306,7 +315,7 @@ def _profile_case(
 ) -> str:
     """cProfile one extra run of ``case``; a pstats top-``top`` table."""
     config = case.farm_config()
-    policy = policy_by_name(case.policy)
+    policy = strategy_by_name(case.policy)
     ensemble = _build_ensemble(case, config)
     profile = cProfile.Profile(clock)
     profile.enable()

@@ -1,0 +1,41 @@
+"""Policy families beyond the paper's four.
+
+Each module in this package defines a :class:`~repro.core.strategies.
+PlacementStrategy` implementation and registers it (importing this
+package is what makes the families resolvable by name — the strategy
+registry does so lazily on first lookup).
+"""
+
+from repro.policies.gamma import (
+    GAMMA_ROBUST_POLICY,
+    GammaInstance,
+    GammaItem,
+    GammaRobustPlanner,
+    GammaRobustStrategy,
+    DemandIntervalModel,
+    brute_force_minimum_bins,
+    gamma_first_fit,
+    minimum_bins,
+    oracle_gap_report,
+    render_gap_report,
+    robust_fits,
+    robust_load,
+    seeded_instance,
+)
+
+__all__ = [
+    "GAMMA_ROBUST_POLICY",
+    "GammaInstance",
+    "GammaItem",
+    "GammaRobustPlanner",
+    "GammaRobustStrategy",
+    "DemandIntervalModel",
+    "brute_force_minimum_bins",
+    "gamma_first_fit",
+    "minimum_bins",
+    "oracle_gap_report",
+    "render_gap_report",
+    "robust_fits",
+    "robust_load",
+    "seeded_instance",
+]

@@ -46,6 +46,19 @@ POLICY_SEEDS = {
 #: small enough that the four runs finish in well under a second.
 FARM_SHAPE = dict(home_hosts=4, consolidation_hosts=2, vms_per_host=4)
 
+GAMMA_GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "gamma_golden.json"
+)
+
+#: GammaRobust lives in its own golden file so adding robust policies
+#: never touches (let alone regenerates) ``farm_golden.json`` — the
+#: four-policy snapshots stay byte-identical through the strategy
+#: refactor.  One light and one heavy Γ, distinct pinned seeds.
+GAMMA_SEEDS = {
+    "GammaRobust@1": 21,
+    "GammaRobust@3": 23,
+}
+
 TRACE_GOLDEN_PATH = os.path.join(
     os.path.dirname(__file__), "trace_golden.jsonl"
 )
@@ -88,16 +101,20 @@ def simulate_stdout(policy_name: str, seed: int) -> str:
 
     from repro.cli import main
 
+    base, _, gamma = policy_name.partition("@")
+    argv = [
+        "simulate",
+        "--policy", base,
+        "--seed", str(seed),
+        "--home-hosts", str(FARM_SHAPE["home_hosts"]),
+        "--consolidation-hosts", str(FARM_SHAPE["consolidation_hosts"]),
+        "--vms-per-host", str(FARM_SHAPE["vms_per_host"]),
+    ]
+    if gamma:
+        argv += ["--gamma", gamma]
     buffer = io.StringIO()
     with contextlib.redirect_stdout(buffer):
-        status = main([
-            "simulate",
-            "--policy", policy_name,
-            "--seed", str(seed),
-            "--home-hosts", str(FARM_SHAPE["home_hosts"]),
-            "--consolidation-hosts", str(FARM_SHAPE["consolidation_hosts"]),
-            "--vms-per-host", str(FARM_SHAPE["vms_per_host"]),
-        ])
+        status = main(argv)
     assert status == 0
     return buffer.getvalue()
 
@@ -112,6 +129,25 @@ def build_goldens() -> dict:
     for policy_name, seed in POLICY_SEEDS.items():
         result = simulate_day(
             config, policy_by_name(policy_name), DayType.WEEKDAY, seed=seed
+        )
+        goldens["policies"][policy_name] = {
+            "seed": seed,
+            "result": snapshot_result(result),
+            "simulate_stdout": simulate_stdout(policy_name, seed),
+        }
+    return goldens
+
+
+def build_gamma_goldens() -> dict:
+    from repro.core import strategy_by_name
+    from repro.farm import FarmConfig, simulate_day
+    from repro.traces import DayType
+
+    config = FarmConfig(**FARM_SHAPE)
+    goldens = {"farm_shape": FARM_SHAPE, "policies": {}}
+    for policy_name, seed in GAMMA_SEEDS.items():
+        result = simulate_day(
+            config, strategy_by_name(policy_name), DayType.WEEKDAY, seed=seed
         )
         goldens["policies"][policy_name] = {
             "seed": seed,
@@ -159,6 +195,11 @@ def main() -> int:
         json.dump(goldens, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {GOLDEN_PATH}")
+    gamma = build_gamma_goldens()
+    with open(GAMMA_GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(gamma, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {GAMMA_GOLDEN_PATH}")
     build_trace_goldens()
     print("Diff it, explain every changed number, commit it with your change.")
     return 0

@@ -107,3 +107,56 @@ class TestZoneScopeCoverage:
         assert any(
             dotted.startswith("repro.farm.zones.") for dotted in ctx.classes
         ), "expected ZonePartition in the linked project"
+
+
+class TestStrategyScopeCoverage:
+    """The strategy layer and the Γ-robust policy family are inside
+    every checker scope.
+
+    ``repro.core.strategies`` routes RNG streams into planners and
+    ``repro.policies.gamma`` derives per-VM demand intervals from the
+    simulation seed — both produce figure-feeding results, so both must
+    sit inside the DET pack's :data:`SIMULATION_PACKAGES` and the
+    whole-program FLOW scope.  ``repro.policies`` is a top-level package
+    of its own (not under ``repro.core``), so its membership is an
+    explicit entry these tests pin against scope refactors.
+    """
+
+    def test_det_scope_includes_strategies_and_gamma(self):
+        import ast
+
+        from repro.checkers.base import ModuleContext
+        from repro.checkers.rules.determinism import SIMULATION_PACKAGES
+
+        for module_name, path in (
+            ("repro.core.strategies", "src/repro/core/strategies.py"),
+            ("repro.policies.gamma", "src/repro/policies/gamma.py"),
+        ):
+            ctx = ModuleContext(
+                module_name=module_name,
+                path=path,
+                tree=ast.parse(""),
+                source="",
+            )
+            assert ctx.in_packages(SIMULATION_PACKAGES), module_name
+
+    def test_flow_scope_includes_strategies_and_gamma(self):
+        from repro.checkers.flow.rules_flow import _in_flow_scope
+
+        assert _in_flow_scope("repro.core.strategies")
+        assert _in_flow_scope("repro.policies.gamma")
+
+    def test_flow_linker_sees_the_gamma_planner(self):
+        # Non-vacuity: the whole-program pass must actually link the
+        # strategy registry and the robust planner, not skip them.
+        result = check_project([PACKAGE_ROOT])
+        ctx = result.context
+        assert ctx is not None
+        assert any(
+            dotted.startswith("repro.core.strategies.")
+            for dotted in ctx.classes
+        ), "expected PlacementStrategy in the linked project"
+        assert any(
+            dotted.startswith("repro.policies.gamma.")
+            for dotted in ctx.classes
+        ), "expected GammaRobustPlanner in the linked project"

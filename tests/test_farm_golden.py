@@ -14,12 +14,14 @@ import pytest
 
 from tests.golden.update_goldens import (
     FARM_SHAPE,
+    GAMMA_GOLDEN_PATH,
+    GAMMA_SEEDS,
     GOLDEN_PATH,
     POLICY_SEEDS,
     simulate_stdout,
     snapshot_result,
 )
-from repro.core import policy_by_name
+from repro.core import policy_by_name, strategy_by_name
 from repro.farm import FarmConfig, simulate_day
 from repro.traces import DayType
 
@@ -89,3 +91,67 @@ def test_explicit_single_zone_stdout_matches_golden(goldens, policy_name):
         ])
     assert status == 0
     assert buffer.getvalue() == pinned["simulate_stdout"]
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICY_SEEDS))
+def test_strategy_layer_preserves_golden_stdout(goldens, policy_name):
+    """The pluggable strategy layer is behavior-preserving: resolving
+    each paper policy by *name* through the registry must reproduce the
+    pre-refactor golden stdout byte-for-byte (goldens unregenerated)."""
+    pinned = goldens["policies"][policy_name]
+    config = FarmConfig(**FARM_SHAPE)
+    via_registry = simulate_day(
+        config,
+        strategy_by_name(policy_name),
+        DayType.WEEKDAY,
+        seed=pinned["seed"],
+    )
+    assert json.loads(json.dumps(snapshot_result(via_registry))) == (
+        pinned["result"]
+    )
+    assert simulate_stdout(policy_name, pinned["seed"]) == (
+        pinned["simulate_stdout"]
+    )
+
+
+# ----------------------------------------------------------------------
+# GammaRobust goldens (separate file: adding robust policies must never
+# force a farm_golden.json regeneration)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def gamma_goldens() -> dict:
+    assert os.path.exists(GAMMA_GOLDEN_PATH), (
+        "missing tests/golden/gamma_golden.json; run "
+        "PYTHONPATH=src python tests/golden/update_goldens.py"
+    )
+    with open(GAMMA_GOLDEN_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_gamma_golden_covers_pinned_gammas(gamma_goldens):
+    assert set(gamma_goldens["policies"]) == set(GAMMA_SEEDS)
+    assert gamma_goldens["farm_shape"] == FARM_SHAPE
+
+
+@pytest.mark.parametrize("policy_name", sorted(GAMMA_SEEDS))
+def test_gamma_result_matches_golden(gamma_goldens, policy_name):
+    pinned = gamma_goldens["policies"][policy_name]
+    config = FarmConfig(**FARM_SHAPE)
+    result = simulate_day(
+        config,
+        strategy_by_name(policy_name),
+        DayType.WEEKDAY,
+        seed=pinned["seed"],
+    )
+    assert json.loads(json.dumps(snapshot_result(result))) == pinned["result"]
+
+
+@pytest.mark.parametrize("policy_name", sorted(GAMMA_SEEDS))
+def test_gamma_cli_stdout_matches_golden(gamma_goldens, policy_name):
+    """``simulate --policy GammaRobust --gamma N`` stdout, byte-exact."""
+    pinned = gamma_goldens["policies"][policy_name]
+    stdout = simulate_stdout(policy_name, pinned["seed"])
+    assert stdout == pinned["simulate_stdout"]
+    assert f"policy:           {policy_name} " in stdout

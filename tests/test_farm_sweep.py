@@ -1,14 +1,24 @@
 """Sweep helpers (small configurations to stay fast)."""
 
+from dataclasses import dataclass
+
 import pytest
 
-from repro.core import FULL_TO_PARTIAL, ONLY_PARTIAL
+from repro.core import (
+    FULL_TO_PARTIAL,
+    ONLY_PARTIAL,
+    GreedyStrategy,
+    register_strategy,
+    strategy_names,
+    unregister_strategy,
+)
 from repro.errors import ConfigError
 from repro.farm import FarmConfig, SweepRunner
 from repro.farm.sweep import (
     average_savings,
     cluster_shape_sweep,
     consolidation_host_sweep,
+    gamma_sweep,
     memory_server_power_sweep,
     run_repetitions,
 )
@@ -116,3 +126,64 @@ class TestRunnerIntegration:
             runner=SweepRunner(),
         )
         assert baseline == explicit
+
+
+@dataclass(frozen=True)
+class _DummyStrategy(GreedyStrategy):
+    """FulltoPartial's planner under a name the built-ins never use."""
+
+    @property
+    def name(self) -> str:
+        return "SweepDummy"
+
+
+class TestStrategyRegistrySweeps:
+    """The sweeps hold no closed four-policy enum: a newly registered
+    strategy sweeps end-to-end purely by name."""
+
+    def test_registered_dummy_strategy_sweeps_end_to_end(self):
+        register_strategy(_DummyStrategy(FULL_TO_PARTIAL))
+        try:
+            assert "SweepDummy" in strategy_names()
+            sweep = consolidation_host_sweep(
+                small_config(), ["SweepDummy"], DayType.WEEKDAY,
+                consolidation_counts=(1, 2), runs=1,
+            )
+            assert set(sweep) == {"SweepDummy"}
+            reference = consolidation_host_sweep(
+                small_config(), [FULL_TO_PARTIAL], DayType.WEEKDAY,
+                consolidation_counts=(1, 2), runs=1,
+            )
+            # Same planner, same seeds: only the labels may differ.
+            for (_, dummy), (_, ref) in zip(
+                sweep["SweepDummy"], reference["FulltoPartial"]
+            ):
+                assert dummy.mean_savings == ref.mean_savings
+        finally:
+            unregister_strategy("SweepDummy")
+        assert "SweepDummy" not in strategy_names()
+
+    def test_policies_resolve_by_string_name(self):
+        point = average_savings(
+            small_config(), "FulltoPartial", DayType.WEEKDAY, runs=1,
+        )
+        via_spec = average_savings(
+            small_config(), FULL_TO_PARTIAL, DayType.WEEKDAY, runs=1,
+        )
+        assert point == via_spec
+
+    def test_gamma_sweep_rows_and_labels(self):
+        rows = gamma_sweep(
+            small_config(), (0, 2), DayType.WEEKDAY,
+            baselines=[FULL_TO_PARTIAL], runs=1,
+        )
+        assert [name for name, _ in rows] == [
+            "FulltoPartial", "GammaRobust@0", "GammaRobust@2",
+        ]
+        for name, point in rows:
+            assert point.label == name
+            assert point.runs == 1
+
+    def test_gamma_sweep_rejects_negative_gamma(self):
+        with pytest.raises(ConfigError):
+            gamma_sweep(small_config(), (-1,), DayType.WEEKDAY, runs=1)

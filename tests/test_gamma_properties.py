@@ -1,0 +1,134 @@
+"""Property battery for Γ-robust first-fit (100 seeded instances).
+
+Every instance comes from :func:`repro.policies.seeded_instance`, so the
+battery is deterministic: the same seeds produce the same items, Γ, and
+packings on every run.  The properties pinned here are the ones the
+Γ-robustness construction promises by design:
+
+* the robust invariant — any Γ VMs of a bin at their interval maximum
+  plus the rest at nominal still fit (checked both through
+  :func:`robust_load` and by exhaustive subset enumeration);
+* packing integrity — every item lands in exactly one bin, no bin is
+  empty;
+* Γ = 0 degenerates *exactly* to point-estimate First-Fit over the
+  nominal demands (compared against an independent re-implementation);
+* monotonicity — the heuristic's bin count never decreases as Γ grows.
+"""
+
+from itertools import combinations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.policies import (
+    GammaItem,
+    gamma_first_fit,
+    robust_fits,
+    robust_load,
+    seeded_instance,
+)
+
+#: The battery's instance seeds; 100 deterministic randomized packings.
+SEEDS = range(100)
+
+_EPS = 1e-9
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def instance(request):
+    return seeded_instance(request.param)
+
+
+def test_battery_is_deterministic():
+    first = seeded_instance(7)
+    again = seeded_instance(7)
+    assert first == again
+    assert len(first.items) >= 3
+
+
+def test_robust_invariant_holds_per_bin(instance):
+    """Every packed bin satisfies sum(uc) + top-Γ(ur) <= capacity."""
+    bins = gamma_first_fit(instance.items, instance.gamma, instance.capacity)
+    for packed in bins:
+        assert robust_fits(packed, instance.gamma, instance.capacity)
+        assert robust_load(packed, instance.gamma) <= (
+            instance.capacity + _EPS
+        )
+
+
+def test_robust_invariant_exhaustive_subsets(instance):
+    """The invariant, spelled out: pick ANY Γ VMs of a bin, spike them
+    to their interval maximum, leave the rest at nominal — it fits.
+
+    Enumerated over every Γ-subset of every bin, independently of the
+    ``nlargest`` shortcut inside :func:`robust_load`."""
+    bins = gamma_first_fit(instance.items, instance.gamma, instance.capacity)
+    for packed in bins:
+        nominal_total = sum(item.nominal for item in packed)
+        spikers = min(instance.gamma, len(packed))
+        for chosen in combinations(packed, spikers):
+            load = nominal_total + sum(item.deviation for item in chosen)
+            assert load <= instance.capacity + _EPS
+
+
+def test_packing_integrity(instance):
+    """Each item appears exactly once; no bin is left empty."""
+    bins = gamma_first_fit(instance.items, instance.gamma, instance.capacity)
+    assert all(packed for packed in bins)
+    packed_ids = [item.item_id for packed in bins for item in packed]
+    assert sorted(packed_ids) == sorted(
+        item.item_id for item in instance.items
+    )
+    assert len(packed_ids) == len(set(packed_ids))
+
+
+def _point_estimate_first_fit(items, capacity):
+    """Plain nominal-demand First-Fit, re-implemented independently."""
+    bins, loads = [], []
+    for item in items:
+        for position, load in enumerate(loads):
+            if load + item.nominal <= capacity + _EPS:
+                bins[position].append(item)
+                loads[position] += item.nominal
+                break
+        else:
+            bins.append([item])
+            loads.append(item.nominal)
+    return bins
+
+
+def test_gamma_zero_is_point_estimate_first_fit(instance):
+    """Γ = 0 must reproduce classic First-Fit bin-for-bin, not merely
+    match its bin count: deviations become entirely invisible."""
+    robust = gamma_first_fit(instance.items, 0, instance.capacity)
+    classic = _point_estimate_first_fit(instance.items, instance.capacity)
+    assert robust == classic
+
+
+def test_bin_count_monotone_in_gamma(instance):
+    """More protection can never need fewer hosts: the heuristic's bin
+    count is non-decreasing in Γ on every battery instance."""
+    counts = [
+        len(gamma_first_fit(instance.items, gamma, instance.capacity))
+        for gamma in range(5)
+    ]
+    assert counts == sorted(counts)
+
+
+def test_robust_load_saturates_at_item_count():
+    """Γ beyond the bin population adds nothing: every item is already
+    spiking."""
+    items = [GammaItem(0, 10.0, 4.0), GammaItem(1, 20.0, 6.0)]
+    saturated = robust_load(items, 2)
+    assert saturated == pytest.approx(40.0)
+    assert robust_load(items, 5) == pytest.approx(saturated)
+
+
+def test_oversized_item_is_rejected():
+    """An item whose lone worst case exceeds the capacity can never be
+    packed; the heuristic refuses the instance up front."""
+    items = [GammaItem(0, 6.0, 5.0)]
+    with pytest.raises(ConfigError):
+        gamma_first_fit(items, 1, 8.0)
+    # ...but with Γ = 0 the deviation is dormant and the item fits.
+    assert len(gamma_first_fit(items, 0, 8.0)) == 1

@@ -1,0 +1,147 @@
+"""The pluggable strategy registry (`repro.core.strategies`)."""
+
+import pickle
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core import (
+    ALL_POLICIES,
+    FULL_TO_PARTIAL,
+    GreedyStrategy,
+    PlacementStrategy,
+    register_family,
+    register_strategy,
+    resolve_strategy,
+    strategy_by_name,
+    strategy_names,
+    unregister_strategy,
+)
+from repro.errors import ConfigError
+from repro.policies import GammaRobustStrategy
+
+
+@dataclass(frozen=True)
+class _RoundTripStrategy(GreedyStrategy):
+    @property
+    def name(self) -> str:
+        return "RoundTrip"
+
+
+class TestRegistry:
+    def test_paper_policies_are_registered_in_order(self):
+        names = strategy_names()
+        assert names[:4] == [
+            "OnlyPartial", "Default", "FulltoPartial", "NewHome",
+        ]
+        assert "GammaRobust" in names
+
+    def test_lookup_is_case_insensitive(self):
+        assert strategy_by_name("fulltopartial") is (
+            strategy_by_name("FulltoPartial")
+        )
+
+    def test_registered_strategy_wraps_the_paper_spec(self):
+        for policy in ALL_POLICIES:
+            strategy = strategy_by_name(policy.name)
+            assert isinstance(strategy, GreedyStrategy)
+            assert strategy.spec is policy
+            assert strategy.name == policy.name
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ConfigError, match="unknown strategy"):
+            strategy_by_name("NoSuchPolicy")
+
+    def test_duplicate_registration_requires_replace(self):
+        with pytest.raises(ConfigError, match="already registered"):
+            register_strategy(GreedyStrategy(FULL_TO_PARTIAL))
+        with pytest.raises(ConfigError, match="already registered"):
+            register_family(
+                "FulltoPartial", lambda argument: GreedyStrategy(
+                    FULL_TO_PARTIAL
+                ),
+            )
+
+    def test_unregister_unknown_name_fails(self):
+        with pytest.raises(ConfigError, match="not registered"):
+            unregister_strategy("NeverRegistered")
+
+    def test_register_unregister_round_trip(self):
+        strategy = _RoundTripStrategy(FULL_TO_PARTIAL)
+        register_strategy(strategy)
+        try:
+            assert "RoundTrip" in strategy_names()
+            assert resolve_strategy("RoundTrip") is strategy
+        finally:
+            unregister_strategy("RoundTrip")
+        assert "RoundTrip" not in strategy_names()
+
+
+class TestFamilies:
+    def test_family_lookup_parses_the_argument(self):
+        strategy = strategy_by_name("GammaRobust@3")
+        assert isinstance(strategy, GammaRobustStrategy)
+        assert strategy.gamma == 3
+        assert strategy.name == "GammaRobust@3"
+
+    def test_bare_family_name_applies_the_default(self):
+        strategy = strategy_by_name("GammaRobust")
+        assert isinstance(strategy, GammaRobustStrategy)
+        assert strategy.gamma == 1
+
+    def test_family_lookup_is_case_insensitive(self):
+        assert strategy_by_name("gammarobust@2") == (
+            strategy_by_name("GammaRobust@2")
+        )
+
+    def test_bad_family_argument_is_rejected(self):
+        with pytest.raises(ConfigError, match="integer"):
+            strategy_by_name("GammaRobust@two")
+        with pytest.raises(ConfigError, match="gamma"):
+            strategy_by_name("GammaRobust@-1")
+
+    def test_family_name_cannot_contain_separator(self):
+        with pytest.raises(ConfigError, match="must not contain"):
+            register_family(
+                "Bad@Name", lambda argument: GreedyStrategy(FULL_TO_PARTIAL)
+            )
+
+
+class TestResolution:
+    def test_strategy_passes_through_unchanged(self):
+        strategy = strategy_by_name("Default")
+        assert resolve_strategy(strategy) is strategy
+
+    def test_spec_is_wrapped_in_greedy(self):
+        resolved = resolve_strategy(FULL_TO_PARTIAL)
+        assert isinstance(resolved, GreedyStrategy)
+        assert resolved.spec is FULL_TO_PARTIAL
+
+    def test_unregistered_custom_spec_still_resolves(self):
+        custom = FULL_TO_PARTIAL.__class__(
+            name="Bespoke",
+            full_migrate_active=False,
+            convert_in_place=True,
+            exchange_idle_full=False,
+            rehome_on_exhaustion=False,
+        )
+        resolved = resolve_strategy(custom)
+        assert resolved.name == "Bespoke"
+
+    def test_non_policy_value_is_rejected(self):
+        with pytest.raises(ConfigError, match="cannot resolve"):
+            resolve_strategy(42)
+
+
+class TestPicklability:
+    """Sweeps ship strategies to worker processes inside RunSpecs."""
+
+    @pytest.mark.parametrize(
+        "name", ["Default", "GammaRobust@0", "GammaRobust@4"]
+    )
+    def test_strategies_survive_pickling(self, name):
+        strategy = strategy_by_name(name)
+        clone = pickle.loads(pickle.dumps(strategy))
+        assert isinstance(clone, PlacementStrategy)
+        assert clone.name == strategy.name
+        assert clone.spec == strategy.spec
