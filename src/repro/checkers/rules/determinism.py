@@ -30,6 +30,7 @@ SIMULATION_PACKAGES = (
     "repro.faults",
     "repro.obs",
     "repro.perfbench",
+    "repro.equiv",
 )
 
 #: Attributes of the ``random`` module DET101 leaves to other rules:

@@ -14,7 +14,10 @@ Subcommands:
   Perfetto / ``chrome://tracing`` can open);
 * ``perfbench`` — time ``simulate_day`` and sweep throughput across
   policies/scales, write ``BENCH_hotpath.json``, print a cProfile
-  table, and optionally gate against a committed baseline.
+  table, and optionally gate against a committed baseline;
+* ``equiv``    — the statistical engine-equivalence battery: ``selftest``
+  (mutation power proof), ``baseline`` (capture reference ensembles),
+  ``compare`` (certify the current engine against a committed baseline).
 
 The full evaluation sweeps live in ``benchmarks/`` (one per paper table
 or figure); the CLI covers interactive exploration and smoke-testing
@@ -493,6 +496,86 @@ def _cmd_traces(args: argparse.Namespace) -> int:
     return 0
 
 
+def _equiv_config(args: argparse.Namespace) -> FarmConfig:
+    return FarmConfig(
+        home_hosts=args.home_hosts,
+        consolidation_hosts=args.consolidation_hosts,
+        vms_per_host=args.vms_per_host,
+    )
+
+
+def _cmd_equiv(args: argparse.Namespace) -> int:
+    """``equiv selftest|baseline|compare`` — the equivalence battery."""
+    import json
+
+    from repro.equiv import (
+        BatteryConfig,
+        build_baseline,
+        compare_to_baseline,
+        read_baseline,
+        run_selftest,
+        write_baseline,
+    )
+
+    config = _equiv_config(args)
+    runner = _make_runner(args.workers)
+    battery = BatteryConfig(family_alpha=args.alpha)
+    try:
+        if args.action == "selftest":
+            mutants = args.mutants.split(",") if args.mutants else None
+            report = run_selftest(
+                config,
+                args.policy,
+                _day_type(args.day),
+                root_seed=args.seed,
+                ensemble_size=args.ensemble_size,
+                battery_config=battery,
+                mutants=mutants,
+                runner=runner,
+            )
+            print(report.render())
+            if args.report:
+                with open(args.report, "w", encoding="utf-8") as handle:
+                    json.dump(report.as_dict(), handle, indent=2,
+                              sort_keys=True)
+                    handle.write("\n")
+                print(f"wrote {args.report}")
+            return 0 if report.passed else 1
+        if args.action == "baseline":
+            payload = build_baseline(
+                config,
+                args.policies.split(","),
+                _day_type(args.day),
+                root_seed=args.seed,
+                ensemble_size=args.ensemble_size,
+                runner=runner,
+            )
+            write_baseline(args.out, payload)
+            print(
+                f"wrote baseline for {len(payload['policies'])} policies "
+                f"x {payload['ensemble_size']} seeds to {args.out}"
+            )
+            return 0
+        # compare: certify the current engine against a committed baseline.
+        report = compare_to_baseline(
+            read_baseline(args.baseline),
+            config,
+            args.policy,
+            battery_config=battery,
+            runner=runner,
+        )
+        print(report.render(verbose=args.verbose))
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.report}")
+        return 0 if report.equivalent else 1
+    except ConfigError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import json
 
@@ -695,6 +778,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("file")
     validate.set_defaults(handler=_cmd_trace)
+
+    equiv = sub.add_parser(
+        "equiv",
+        help="statistical engine-equivalence battery (DESIGN.md §16)",
+    )
+    equiv_sub = equiv.add_subparsers(dest="action", required=True)
+
+    def _equiv_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--day", default="weekday",
+                       choices=["weekday", "weekend"])
+        p.add_argument("--seed", type=int, default=2016,
+                       help="root seed; member seeds are derived from it")
+        p.add_argument("--ensemble-size", type=int, default=20)
+        p.add_argument("--alpha", type=float, default=0.05,
+                       help="family-wise false-rejection budget")
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes for reference ensembles")
+        p.add_argument("--home-hosts", type=int, default=4)
+        p.add_argument("--consolidation-hosts", type=int, default=2)
+        p.add_argument("--vms-per-host", type=int, default=4)
+
+    selftest = equiv_sub.add_parser(
+        "selftest",
+        help="prove the battery rejects every registered mutant and "
+             "accepts the reference across disjoint seeds",
+    )
+    _equiv_common(selftest)
+    selftest.add_argument("--policy", default="FulltoPartial")
+    selftest.add_argument(
+        "--mutants", default=None,
+        help="comma-separated mutant names (default: all registered)",
+    )
+    selftest.add_argument("--report", default=None, metavar="PATH",
+                          help="also write the full JSON report here")
+    selftest.set_defaults(handler=_cmd_equiv)
+
+    baseline = equiv_sub.add_parser(
+        "baseline",
+        help="capture reference ensembles as a committed baseline JSON",
+    )
+    _equiv_common(baseline)
+    baseline.add_argument(
+        "--policies",
+        default="OnlyPartial,Default,FulltoPartial,NewHome,GammaRobust@1",
+        help="comma-separated policy names to capture",
+    )
+    baseline.add_argument("--out", required=True)
+    baseline.set_defaults(handler=_cmd_equiv)
+
+    compare = equiv_sub.add_parser(
+        "compare",
+        help="certify the current engine against a committed baseline "
+             "(paired at the baseline's pinned seeds)",
+    )
+    _equiv_common(compare)
+    compare.add_argument("--baseline", required=True)
+    compare.add_argument("--policy", default="FulltoPartial")
+    compare.add_argument("--verbose", action="store_true",
+                         help="print every metric verdict, not just failures")
+    compare.add_argument("--report", default=None, metavar="PATH",
+                         help="also write the full JSON report here")
+    compare.set_defaults(handler=_cmd_equiv)
 
     return parser
 

@@ -1,0 +1,365 @@
+"""The equivalence battery: ensemble vs ensemble, verdict per metric.
+
+:func:`compare_fingerprints` takes two seed ensembles of
+:class:`~repro.equiv.fingerprint.RunFingerprint` and decides, metric by
+metric, whether they look like the same engine:
+
+* every continuous metric gets an unpaired two-sample KS test;
+* every counter metric gets the conditional count-split test on totals;
+* the sleep-duration histograms get a pooled chi-square homogeneity
+  test;
+* when the two ensembles were run on the *same* seed list, every metric
+  additionally gets an exact paired sign test on the per-seed
+  differences — this is where the battery's power against small
+  systematic biases comes from (an off-by-one watt moves every seed the
+  same way; a legitimately reordered engine produces mixed signs).
+
+Significance is Bonferroni-controlled: the whole battery holds a
+family-wise error rate of :attr:`BatteryConfig.family_alpha`, so a
+reference engine compared against itself across disjoint seed ranges is
+accepted with probability ``>= 1 - family_alpha`` regardless of how
+many metrics the fingerprint grows.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.equiv.fingerprint import (
+    RunFingerprint,
+    continuous_metrics,
+    counter_metrics,
+)
+from repro.equiv.stats import (
+    TestResult,
+    chi_square_homogeneity,
+    count_split_p_value,
+    ks_two_sample,
+    pooled_dispersion,
+    sign_test_p_value,
+)
+from repro.errors import ConfigError
+
+__all__ = [
+    "COMMITTED_ENSEMBLE_SIZE",
+    "BatteryConfig",
+    "MetricVerdict",
+    "EquivalenceReport",
+    "compare_fingerprints",
+    "report_from_dict",
+]
+
+#: The ensemble size the mutation self-tests commit to: every mutant in
+#: :mod:`repro.equiv.mutants` must be rejected, and the reference
+#: accepted, at exactly this many seeds per side.
+COMMITTED_ENSEMBLE_SIZE = 20
+
+
+@dataclass(frozen=True)
+class BatteryConfig:
+    """Knobs of one battery run.
+
+    ``family_alpha`` is the family-wise false-rejection budget for the
+    *whole* battery; each individual test runs at
+    ``family_alpha / total_tests`` (Bonferroni).  ``paired`` controls
+    whether matching seed lists trigger the sign tests (on by default;
+    baselines compared across disjoint seed ranges never pair).
+    """
+
+    family_alpha: float = 0.05
+    paired: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.family_alpha < 1.0:
+            raise ConfigError(
+                f"family_alpha must be in (0, 1), got {self.family_alpha}"
+            )
+
+
+@dataclass(frozen=True)
+class MetricVerdict:
+    """One metric's test outcome within a battery run."""
+
+    metric: str
+    test: str
+    statistic: float
+    p_value: float
+    threshold: float
+
+    @property
+    def passed(self) -> bool:
+        return self.p_value >= self.threshold
+
+    def as_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "test": self.test,
+            "statistic": self.statistic,
+            "p_value": self.p_value,
+            "threshold": self.threshold,
+            "passed": self.passed,
+        }
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """The battery's full output for one ensemble-vs-ensemble run."""
+
+    label_a: str
+    label_b: str
+    policy: str
+    day_type: str
+    ensemble_size_a: int
+    ensemble_size_b: int
+    paired: bool
+    family_alpha: float
+    verdicts: Tuple[MetricVerdict, ...] = field(default_factory=tuple)
+
+    @property
+    def equivalent(self) -> bool:
+        """True iff every metric verdict passed."""
+        return all(verdict.passed for verdict in self.verdicts)
+
+    def failures(self) -> List[MetricVerdict]:
+        """The verdicts that rejected, most significant first."""
+        return sorted(
+            (v for v in self.verdicts if not v.passed),
+            key=lambda v: v.p_value,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "label_a": self.label_a,
+            "label_b": self.label_b,
+            "policy": self.policy,
+            "day_type": self.day_type,
+            "ensemble_size_a": self.ensemble_size_a,
+            "ensemble_size_b": self.ensemble_size_b,
+            "paired": self.paired,
+            "family_alpha": self.family_alpha,
+            "equivalent": self.equivalent,
+            "verdicts": [verdict.as_dict() for verdict in self.verdicts],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def render(self, verbose: bool = False) -> str:
+        """Human-readable summary (the ``repro equiv`` CLI output)."""
+        lines = [
+            f"equivalence battery: {self.label_a} vs {self.label_b}",
+            f"  policy={self.policy} day={self.day_type} "
+            f"n_a={self.ensemble_size_a} n_b={self.ensemble_size_b} "
+            f"paired={'yes' if self.paired else 'no'}",
+            f"  tests={len(self.verdicts)} "
+            f"family_alpha={self.family_alpha:g}",
+        ]
+        failures = self.failures()
+        if failures:
+            lines.append(f"  VERDICT: NOT EQUIVALENT ({len(failures)} metric"
+                         f"{'s' if len(failures) != 1 else ''} rejected)")
+            for verdict in failures:
+                lines.append(
+                    f"    REJECT {verdict.metric} [{verdict.test}] "
+                    f"p={verdict.p_value:.3g} < {verdict.threshold:.3g} "
+                    f"stat={verdict.statistic:.6g}"
+                )
+        else:
+            lines.append("  VERDICT: equivalent (no metric rejected)")
+        if verbose:
+            for verdict in sorted(self.verdicts, key=lambda v: v.metric):
+                flag = "ok    " if verdict.passed else "REJECT"
+                lines.append(
+                    f"    {flag} {verdict.metric} [{verdict.test}] "
+                    f"p={verdict.p_value:.3g} stat={verdict.statistic:.6g}"
+                )
+        return "\n".join(lines)
+
+
+def _validate_ensemble(
+    fingerprints: Sequence[RunFingerprint], label: str
+) -> Tuple[str, str]:
+    if not fingerprints:
+        raise ConfigError(f"ensemble {label!r} is empty")
+    policies = {fp.policy for fp in fingerprints}
+    day_types = {fp.day_type for fp in fingerprints}
+    if len(policies) > 1 or len(day_types) > 1:
+        raise ConfigError(
+            f"ensemble {label!r} mixes runs: policies={sorted(policies)} "
+            f"day_types={sorted(day_types)}"
+        )
+    return fingerprints[0].policy, fingerprints[0].day_type
+
+
+def _metric_columns(
+    fingerprints_a: Sequence[RunFingerprint],
+    fingerprints_b: Sequence[RunFingerprint],
+    extract,
+) -> Tuple[Dict[str, List[float]], Dict[str, List[float]]]:
+    """Aligned metric columns over the union of both ensembles' keys.
+
+    A run that never enters some power state has no key for it, so the
+    key set legitimately varies per seed — and an engine that *stops*
+    entering a state entirely must be rejected, not erred on.  Missing
+    metrics read as 0.0 (no time, no energy, no events in that bucket).
+    """
+    rows_a = [extract(fp) for fp in fingerprints_a]
+    rows_b = [extract(fp) for fp in fingerprints_b]
+    key_union: set = set()
+    for row in rows_a:
+        key_union.update(row)
+    for row in rows_b:
+        key_union.update(row)
+    names = sorted(key_union)
+    columns_a = {
+        name: [row.get(name, 0.0) for row in rows_a] for name in names
+    }
+    columns_b = {
+        name: [row.get(name, 0.0) for row in rows_b] for name in names
+    }
+    return columns_a, columns_b
+
+
+def _paired_signs(
+    column_a: Sequence[float], column_b: Sequence[float]
+) -> Tuple[int, int]:
+    positive = negative = 0
+    for a, b in zip(column_a, column_b):
+        if a > b:
+            positive += 1
+        elif a < b:
+            negative += 1
+    return positive, negative
+
+
+def compare_fingerprints(
+    fingerprints_a: Sequence[RunFingerprint],
+    fingerprints_b: Sequence[RunFingerprint],
+    config: Optional[BatteryConfig] = None,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> EquivalenceReport:
+    """Run the full battery over two fingerprint ensembles."""
+    config = config or BatteryConfig()
+    policy_a, day_a = _validate_ensemble(fingerprints_a, label_a)
+    policy_b, day_b = _validate_ensemble(fingerprints_b, label_b)
+    if policy_a != policy_b or day_a != day_b:
+        raise ConfigError(
+            f"ensembles are not comparable: {policy_a}/{day_a} vs "
+            f"{policy_b}/{day_b}"
+        )
+
+    continuous_a, continuous_b = _metric_columns(
+        fingerprints_a, fingerprints_b, continuous_metrics
+    )
+    counters_a, counters_b = _metric_columns(
+        fingerprints_a, fingerprints_b, counter_metrics
+    )
+
+    seeds_a = [fp.seed for fp in fingerprints_a]
+    seeds_b = [fp.seed for fp in fingerprints_b]
+    paired = config.paired and seeds_a == seeds_b
+
+    # One pass to count the tests so Bonferroni thresholds are exact.
+    pair_tests = len(continuous_a) + len(counters_a) if paired else 0
+    total_tests = len(continuous_a) + len(counters_a) + 1 + pair_tests
+    threshold = config.family_alpha / total_tests
+
+    n_a, n_b = len(fingerprints_a), len(fingerprints_b)
+    verdicts: List[MetricVerdict] = []
+
+    def add(metric: str, test: str, result: TestResult) -> None:
+        verdicts.append(
+            MetricVerdict(
+                metric=metric,
+                test=test,
+                statistic=result.statistic,
+                p_value=result.p_value,
+                threshold=threshold,
+            )
+        )
+
+    for metric in sorted(continuous_a):
+        add(metric, "ks", ks_two_sample(continuous_a[metric],
+                                        continuous_b[metric]))
+        if paired:
+            positive, negative = _paired_signs(
+                continuous_a[metric], continuous_b[metric]
+            )
+            add(metric, "sign", sign_test_p_value(positive, negative))
+
+    for metric in sorted(counters_a):
+        # Quasi-binomial: deflate totals by the pooled variance-to-mean
+        # ratio so seed-to-seed workload variance (over-dispersion
+        # relative to Poisson) cannot falsely reject honest ensembles.
+        add(
+            metric,
+            "count-split",
+            count_split_p_value(
+                sum(counters_a[metric]),
+                sum(counters_b[metric]),
+                n_a,
+                n_b,
+                dispersion=pooled_dispersion(
+                    counters_a[metric], counters_b[metric]
+                ),
+            ),
+        )
+        if paired:
+            positive, negative = _paired_signs(
+                counters_a[metric], counters_b[metric]
+            )
+            add(metric, "sign", sign_test_p_value(positive, negative))
+
+    hist_a = [0.0] * len(fingerprints_a[0].sleep_hist)
+    hist_b = [0.0] * len(fingerprints_b[0].sleep_hist)
+    for fingerprint in fingerprints_a:
+        for i, count in enumerate(fingerprint.sleep_hist):
+            hist_a[i] += count
+    for fingerprint in fingerprints_b:
+        for i, count in enumerate(fingerprint.sleep_hist):
+            hist_b[i] += count
+    hist_result, _dof = chi_square_homogeneity(hist_a, hist_b)
+    add("sleep_hist", "chi2-homogeneity", hist_result)
+
+    return EquivalenceReport(
+        label_a=label_a,
+        label_b=label_b,
+        policy=policy_a,
+        day_type=day_a,
+        ensemble_size_a=n_a,
+        ensemble_size_b=n_b,
+        paired=paired,
+        family_alpha=config.family_alpha,
+        verdicts=tuple(verdicts),
+    )
+
+
+def report_from_dict(payload: Mapping) -> EquivalenceReport:
+    """Rebuild a report from :meth:`EquivalenceReport.as_dict` output."""
+    try:
+        verdicts = tuple(
+            MetricVerdict(
+                metric=str(v["metric"]),
+                test=str(v["test"]),
+                statistic=float(v["statistic"]),
+                p_value=float(v["p_value"]),
+                threshold=float(v["threshold"]),
+            )
+            for v in payload["verdicts"]
+        )
+        return EquivalenceReport(
+            label_a=str(payload["label_a"]),
+            label_b=str(payload["label_b"]),
+            policy=str(payload["policy"]),
+            day_type=str(payload["day_type"]),
+            ensemble_size_a=int(payload["ensemble_size_a"]),
+            ensemble_size_b=int(payload["ensemble_size_b"]),
+            paired=bool(payload["paired"]),
+            family_alpha=float(payload["family_alpha"]),
+            verdicts=verdicts,
+        )
+    except KeyError as missing:
+        raise ConfigError(f"report payload missing {missing}") from None

@@ -1,0 +1,350 @@
+"""Pure-stdlib two-sample tests for the equivalence battery.
+
+Nothing here draws randomness or reads clocks: every function is a
+deterministic map from samples to a ``(statistic, p_value)`` pair, so a
+battery run at pinned seeds is reproducible bit-for-bit.
+
+The test inventory matches the fingerprint families:
+
+* :func:`ks_two_sample` — two-sample Kolmogorov–Smirnov with the
+  Stephens small-sample correction of the asymptotic Kolmogorov
+  distribution; the workhorse for continuous fingerprint metrics.
+* :func:`count_split_p_value` — an exact (Fisher-style) conditional
+  binomial test on event totals: conditioned on the pooled total, two
+  equal-rate engines split it ``n_a : n_b``; large totals fall back to
+  the one-degree chi-square.
+* :func:`sign_test_p_value` — the exact paired sign test; when both
+  ensembles share a seed list this is what gives the battery its power
+  against small *systematic* biases (an off-by-one watt moves every
+  seed the same way, while a legitimately reordered engine produces
+  mixed signs).
+* :func:`chi_square_homogeneity` — pooled-histogram homogeneity for the
+  sleep-duration histogram, with the general-dof survival function
+  computed from the regularized incomplete gamma.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "TestResult",
+    "ks_statistic",
+    "ks_p_value",
+    "ks_two_sample",
+    "binom_two_sided_p",
+    "pooled_dispersion",
+    "count_split_p_value",
+    "sign_test_p_value",
+    "chi_square_p_value",
+    "chi_square_homogeneity",
+]
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """One two-sample test outcome."""
+
+    statistic: float
+    p_value: float
+
+
+# ----------------------------------------------------------------------
+# Kolmogorov–Smirnov
+# ----------------------------------------------------------------------
+
+
+def ks_statistic(sample_a: Sequence[float], sample_b: Sequence[float]) -> float:
+    """Two-sample KS statistic: sup |F_a - F_b| over the pooled support."""
+    if not sample_a or not sample_b:
+        raise ConfigError("KS test needs non-empty samples on both sides")
+    a = sorted(sample_a)
+    b = sorted(sample_b)
+    n_a, n_b = len(a), len(b)
+    i = j = 0
+    d = 0.0
+    while i < n_a and j < n_b:
+        value = a[i] if a[i] <= b[j] else b[j]
+        while i < n_a and a[i] <= value:
+            i += 1
+        while j < n_b and b[j] <= value:
+            j += 1
+        gap = abs(i / n_a - j / n_b)
+        if gap > d:
+            d = gap
+    return d
+
+
+def ks_p_value(statistic: float, n_a: int, n_b: int) -> float:
+    """Asymptotic two-sample KS p-value (Stephens-corrected).
+
+    Kolmogorov's series ``Q(x) = 2 * sum (-1)^(k-1) exp(-2 k^2 x^2)``
+    evaluated at ``x = (sqrt(en) + 0.12 + 0.11/sqrt(en)) * D`` with
+    ``en = n_a * n_b / (n_a + n_b)`` — the classic Numerical Recipes
+    form, accurate enough for acceptance gating at ensemble sizes >= 8.
+    """
+    if n_a < 1 or n_b < 1:
+        raise ConfigError("KS p-value needs positive sample sizes")
+    if statistic <= 0.0:
+        return 1.0
+    root_en = math.sqrt(n_a * n_b / (n_a + n_b))
+    x = (root_en + 0.12 + 0.11 / root_en) * statistic
+    total = 0.0
+    sign = 1.0
+    for k in range(1, 101):
+        term = sign * math.exp(-2.0 * (k * x) ** 2)
+        total += term
+        if abs(term) < 1e-12 * abs(total) or abs(term) < 1e-300:
+            break
+        sign = -sign
+    return max(0.0, min(1.0, 2.0 * total))
+
+
+def ks_two_sample(
+    sample_a: Sequence[float], sample_b: Sequence[float]
+) -> TestResult:
+    """Two-sample KS test: ``TestResult(D, p)``."""
+    d = ks_statistic(sample_a, sample_b)
+    return TestResult(d, ks_p_value(d, len(sample_a), len(sample_b)))
+
+
+# ----------------------------------------------------------------------
+# exact binomial (Fisher-style conditional counts, paired signs)
+# ----------------------------------------------------------------------
+
+
+def _binom_log_pmf(k: int, n: int, p: float) -> float:
+    return (
+        math.lgamma(n + 1)
+        - math.lgamma(k + 1)
+        - math.lgamma(n - k + 1)
+        + k * math.log(p)
+        + (n - k) * math.log1p(-p)
+    )
+
+
+#: Above this pooled total the exact two-sided binomial enumeration is
+#: replaced by the one-degree chi-square (both agree to ~1e-3 there).
+_EXACT_BINOM_MAX_N = 2000
+
+
+def binom_two_sided_p(k: int, n: int, p: float = 0.5) -> float:
+    """Exact two-sided binomial test (minimum-likelihood method).
+
+    Sums the probability of every outcome no more likely than the
+    observed one — the same convention SciPy's ``binomtest`` uses — so
+    thresholds calibrated here transfer to external reimplementations.
+    """
+    if n < 0 or k < 0 or k > n:
+        raise ConfigError(f"invalid binomial observation k={k} n={n}")
+    if not 0.0 < p < 1.0:
+        raise ConfigError(f"binomial p must be in (0, 1), got {p}")
+    if n == 0:
+        return 1.0
+    observed = _binom_log_pmf(k, n, p)
+    cutoff = observed + 1e-7  # relative tolerance against float ties
+    total = 0.0
+    for i in range(n + 1):
+        if _binom_log_pmf(i, n, p) <= cutoff:
+            total += math.exp(_binom_log_pmf(i, n, p))
+    return max(0.0, min(1.0, total))
+
+
+def pooled_dispersion(
+    counts_a: Sequence[float], counts_b: Sequence[float]
+) -> float:
+    """Variance-to-mean ratio of per-run counts, pooled, clamped to >= 1.
+
+    Simulation counters are over-dispersed relative to Poisson: each
+    seed draws its own day of traces, so per-run counts carry
+    seed-to-seed workload variance on top of within-run event noise.
+    The conditional binomial split test assumes Poisson totals, so
+    feeding it raw sums falsely rejects two honest ensembles.  Dividing
+    both totals by this ratio (the standard quasi-likelihood
+    correction) deflates the effective event count to what the split
+    test's variance assumption can honestly claim.
+    """
+    if not counts_a or not counts_b:
+        raise ConfigError("dispersion needs non-empty count columns")
+    pooled = list(counts_a) + list(counts_b)
+    if len(pooled) < 3:
+        return 1.0
+    mean_a = sum(counts_a) / len(counts_a)
+    mean_b = sum(counts_b) / len(counts_b)
+    ss = sum((x - mean_a) ** 2 for x in counts_a)
+    ss += sum((x - mean_b) ** 2 for x in counts_b)
+    variance = ss / (len(pooled) - 2)
+    mean_pooled = sum(pooled) / len(pooled)
+    if mean_pooled <= 0.0:
+        return 1.0
+    return max(1.0, variance / mean_pooled)
+
+
+def count_split_p_value(
+    count_a: float,
+    count_b: float,
+    n_a: int = 1,
+    n_b: int = 1,
+    dispersion: float = 1.0,
+) -> TestResult:
+    """Do two event totals split like equal-rate engines would?
+
+    Conditioned on the pooled total ``count_a + count_b``, equal-rate
+    engines observed for ``n_a`` and ``n_b`` runs split it binomially
+    with success probability ``n_a / (n_a + n_b)`` — the conditional
+    (Fisher-style) comparison of two Poisson rates.  Fractional totals
+    (expected-value counters) are rounded to the nearest event.  Small
+    pooled totals use the exact enumeration; large ones the one-degree
+    chi-square on the same split.
+
+    ``dispersion`` (see :func:`pooled_dispersion`) divides both totals
+    before testing — the quasi-binomial correction for counts that are
+    over-dispersed relative to Poisson.
+    """
+    if n_a < 1 or n_b < 1:
+        raise ConfigError("count test needs positive run counts")
+    if count_a < 0.0 or count_b < 0.0:
+        raise ConfigError("event totals cannot be negative")
+    if dispersion < 1.0:
+        raise ConfigError(f"dispersion must be >= 1, got {dispersion}")
+    k = int(round(count_a / dispersion))
+    n = k + int(round(count_b / dispersion))
+    if n == 0:
+        return TestResult(0.0, 1.0)
+    share = n_a / (n_a + n_b)
+    if n <= _EXACT_BINOM_MAX_N:
+        return TestResult(float(k), binom_two_sided_p(k, n, share))
+    expected_a = n * share
+    expected_b = n - expected_a
+    statistic = (k - expected_a) ** 2 / expected_a + (
+        (n - k) - expected_b
+    ) ** 2 / expected_b
+    return TestResult(float(k), chi_square_p_value(statistic, 1))
+
+
+def sign_test_p_value(positive: int, negative: int) -> TestResult:
+    """Exact paired sign test; ties must already be dropped.
+
+    Under the null (no systematic bias between paired engines) each
+    nonzero per-seed difference is positive with probability 1/2; the
+    statistic is the positive count.
+    """
+    if positive < 0 or negative < 0:
+        raise ConfigError("sign counts cannot be negative")
+    n = positive + negative
+    if n == 0:
+        return TestResult(0.0, 1.0)
+    return TestResult(float(positive), binom_two_sided_p(positive, n, 0.5))
+
+
+# ----------------------------------------------------------------------
+# chi-square (general dof, via the regularized incomplete gamma)
+# ----------------------------------------------------------------------
+
+
+def _regularized_gamma_q(a: float, x: float) -> float:
+    """Upper regularized incomplete gamma ``Q(a, x)``.
+
+    Series for ``x < a + 1``, Lentz continued fraction otherwise — the
+    standard pair of complementary expansions.
+    """
+    if x < 0.0 or a <= 0.0:
+        raise ConfigError(f"invalid gamma args a={a} x={x}")
+    if x == 0.0:
+        return 1.0
+    if x < a + 1.0:
+        # P(a, x) by series; Q = 1 - P.
+        term = 1.0 / a
+        total = term
+        denom = a
+        for _ in range(500):
+            denom += 1.0
+            term *= x / denom
+            total += term
+            if abs(term) < abs(total) * 1e-15:
+                break
+        p = total * math.exp(-x + a * math.log(x) - math.lgamma(a))
+        return max(0.0, min(1.0, 1.0 - p))
+    # Q(a, x) by continued fraction (modified Lentz).
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 500):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    q = h * math.exp(-x + a * math.log(x) - math.lgamma(a))
+    return max(0.0, min(1.0, q))
+
+
+def chi_square_p_value(statistic: float, dof: int) -> float:
+    """Survival function of the chi-square distribution."""
+    if dof < 1:
+        raise ConfigError(f"chi-square dof must be >= 1, got {dof}")
+    if statistic <= 0.0:
+        return 1.0
+    return _regularized_gamma_q(dof / 2.0, statistic / 2.0)
+
+
+def chi_square_homogeneity(
+    counts_a: Sequence[float], counts_b: Sequence[float]
+) -> Tuple[TestResult, int]:
+    """Pooled-histogram homogeneity test.
+
+    Bins empty on both sides are dropped; remaining sparse bins
+    (pooled expectation < 5) are merged into their left neighbour so
+    the chi-square approximation holds.  Returns the test plus the
+    effective degrees of freedom (0 when fewer than two usable bins
+    remain, in which case the test trivially passes).
+    """
+    if len(counts_a) != len(counts_b):
+        raise ConfigError("histograms must share their binning")
+    merged: list = []
+    for a, b in zip(counts_a, counts_b):
+        if a < 0.0 or b < 0.0:
+            raise ConfigError("histogram counts cannot be negative")
+        if a == 0.0 and b == 0.0:
+            continue
+        if merged and (merged[-1][0] + merged[-1][1]) < 5.0:
+            merged[-1][0] += a
+            merged[-1][1] += b
+        else:
+            merged.append([a, b])
+    while len(merged) > 1 and (merged[-1][0] + merged[-1][1]) < 5.0:
+        tail = merged.pop()
+        merged[-1][0] += tail[0]
+        merged[-1][1] += tail[1]
+    if len(merged) < 2:
+        return TestResult(0.0, 1.0), 0
+    total_a = sum(pair[0] for pair in merged)
+    total_b = sum(pair[1] for pair in merged)
+    if total_a == 0.0 or total_b == 0.0:
+        # One engine produced no events at all: a pure split test is
+        # better posed than a homogeneity chi-square here.
+        return TestResult(0.0, count_split_p_value(total_a, total_b).p_value), 1
+    grand = total_a + total_b
+    statistic = 0.0
+    for a, b in merged:
+        row = a + b
+        expected_a = row * total_a / grand
+        expected_b = row * total_b / grand
+        statistic += (a - expected_a) ** 2 / expected_a
+        statistic += (b - expected_b) ** 2 / expected_b
+    dof = len(merged) - 1
+    return TestResult(statistic, chi_square_p_value(statistic, dof)), dof

@@ -10,6 +10,13 @@ evaluation sweeps out over worker processes with deterministic results.
 
 from repro.farm.config import FarmConfig
 from repro.farm.metrics import FarmResult, DelaySample
+from repro.farm.planes import (
+    SURCHARGE_STATE,
+    AccountingLedger,
+    DecisionPlane,
+    FarmAccountingLedger,
+    ManagerDecisionPlane,
+)
 from repro.farm.runner import (
     RunOutcome,
     RunProgress,
@@ -46,6 +53,11 @@ __all__ = [
     "FarmConfig",
     "FarmResult",
     "DelaySample",
+    "DecisionPlane",
+    "ManagerDecisionPlane",
+    "AccountingLedger",
+    "FarmAccountingLedger",
+    "SURCHARGE_STATE",
     "FarmSimulation",
     "simulate_day",
     "RunSpec",

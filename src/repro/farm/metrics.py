@@ -79,6 +79,12 @@ class FarmResult:
     energy: EnergyReport = None  # type: ignore[assignment]
     #: Seconds each home host spent asleep, keyed by host id.
     home_sleep_s: Dict[int, float] = field(default_factory=dict)
+    #: Seconds per power state summed over all hosts (ledger read-back;
+    #: feeds the repro.equiv run fingerprint).
+    state_time_s: Dict[str, float] = field(default_factory=dict)
+    #: Joules per power state, plus the "surcharge" lump bucket; sums to
+    #: ``energy.managed_joules`` up to float reassociation.
+    state_energy_j: Dict[str, float] = field(default_factory=dict)
 
     # -- derived metrics ------------------------------------------------
 

@@ -45,12 +45,17 @@ from repro.core.plan import (
     MigrationMode,
 )
 from repro.core.strategies import PolicyLike, resolve_strategy
-from repro.energy.accounting import EnergyAccountant, StateTimeTracker
 from repro.energy.report import EnergyReport, baseline_energy_joules
 from repro.errors import CapacityError, ConfigError, SimulationError
 from repro.farm.config import FarmConfig
 from repro.faults import CLEAN_WAKE, FaultInjector, FaultPlan, backoff_delays_s
 from repro.farm.metrics import DelaySample, FarmResult
+from repro.farm.planes import (
+    AccountingLedger,
+    DecisionPlane,
+    FarmAccountingLedger,
+    ManagerDecisionPlane,
+)
 from repro.migration.scheduler import HostBusyScheduler
 from repro.migration.traffic import TrafficCategory
 from repro.obs.events import CAT_FARM, CAT_FAULT, CAT_MIGRATION, CAT_POWER
@@ -110,8 +115,6 @@ class FarmSimulation:
         # their events through the tracer's clock, bound to simulated time.
         self.tracer.set_clock(lambda: self.sim.now)
         self.scheduler = HostBusyScheduler()
-        self.accountant = EnergyAccountant()
-        self.tracker = StateTimeTracker()
 
         self.cluster = Cluster(
             home_hosts=config.home_hosts,
@@ -141,6 +144,10 @@ class FarmSimulation:
             tracer=self.tracer,
             streams=self.streams,
         )
+        # The decision plane: every planner query the engine makes goes
+        # through this seam (DESIGN.md §16).  The reference plane is a
+        # transparent manager facade, so draw order is unchanged.
+        self.decisions: DecisionPlane = ManagerDecisionPlane(self.manager)
 
         # All VMs share one interval clock: quiet VMs' idle streaks grow
         # with the clock instead of through per-VM per-interval updates.
@@ -159,6 +166,15 @@ class FarmSimulation:
             seed=seed,
             horizon_s=SECONDS_PER_DAY,
         )
+        # The accounting plane: every energy/state/traffic/counter write
+        # goes through this seam (DESIGN.md §16).  The reference ledger
+        # fronts the result's own record objects and the pre-split
+        # accountant/tracker, so meter creation order — and with it the
+        # float summation order of total_joules — is unchanged.
+        self.ledger: AccountingLedger = FarmAccountingLedger(self.result)
+        # Aliases for external readers (validators, scenario tests).
+        self.accountant = self.ledger.accountant
+        self.tracker = self.ledger.tracker
 
         self._jitter_rng = self.streams.get("activation-jitter")
         self._traffic_rng = self.streams.get("traffic")
@@ -177,7 +193,7 @@ class FarmSimulation:
             SECONDS_PER_DAY,
             self.streams.get("faults.plan"),
         )
-        self.faults = self.result.faults
+        self.faults = self.ledger.faults
         #: Host id -> final ready time of an in-flight faulty wake chain,
         #: or None while a chain that will give up plays out.
         self._wake_pending: Dict[int, Optional[float]] = {}
@@ -282,7 +298,7 @@ class FarmSimulation:
             # host creates its meter, and meter creation order fixes the
             # float summation order of total_joules.
             self._refresh_power_now(host)
-            self.tracker.set_state(host.host_id, host.power_state.value, now)
+            self.ledger.set_state(host.host_id, host.power_state.value, now)
 
         for host_id, crash_time in self.fault_plan.memserver_crashes:
             self.sim.schedule_at(
@@ -338,9 +354,9 @@ class FarmSimulation:
 
     def _run_planning(self, now: float) -> None:
         """One periodic planning pass: exchanges, then consolidation."""
-        for exchange in self.manager.plan_exchanges():
+        for exchange in self.decisions.plan_exchanges():
             self._execute_exchange(exchange, now)
-        plan = self.manager.plan_consolidation(
+        plan = self.decisions.plan_consolidation(
             compact_consolidation=self.config.compact_consolidation_hosts
         )
         self._execute_consolidation(plan, now)
@@ -494,13 +510,13 @@ class FarmSimulation:
             if awake_s <= 0.0:
                 continue
             surcharge_w = blended_w - profile.sleep_w
-            self.accountant.add_energy(
+            self.ledger.add_energy(
                 ("wake-tax", host.host_id), awake_s * surcharge_w
             )
             expected_cycles = (
                 rate * TRACE_INTERVAL_SECONDS * sleep_fraction
             )
-            self.result.counters.page_request_wake_cycles += expected_cycles
+            self.ledger.counters.page_request_wake_cycles += expected_cycles
 
     def _grow_working_sets(self, now: float) -> None:
         delta = self.config.working_set_growth_mib_per_h * (
@@ -548,7 +564,7 @@ class FarmSimulation:
     def _on_activation(self, vm_id: int) -> None:
         now = self.sim.now
         vm = self.vms[vm_id]
-        decision = self.manager.decide_activation(vm)
+        decision = self.decisions.decide_activation(vm)
         action = decision.action
         if action is ActivationAction.ALREADY_FULL:
             # The VM already holds all of its resources where it runs
@@ -606,7 +622,7 @@ class FarmSimulation:
             self.config.costs.inplace_conversion_s,
             not_before=self._settles_at.get(vm.vm_id, 0.0),
         )
-        self.result.traffic.add(TrafficCategory.CONVERSION_PULL, pull_mib)
+        self.ledger.traffic.add(TrafficCategory.CONVERSION_PULL, pull_mib)
         self._trace_migration(
             "convert_in_place", vm.vm_id, vm.home_id, host.host_id,
             pull_mib, start, end,
@@ -614,7 +630,7 @@ class FarmSimulation:
         self._close_episode(vm.vm_id)
         self._settles_at[vm.vm_id] = end
         heappush(self._settle_heap, (end, vm.vm_id))
-        self.result.counters.conversions_in_place += 1
+        self.ledger.counters.conversions_in_place += 1
         self._refresh_power(host)
         return now + self.config.costs.reintegration_s
 
@@ -655,7 +671,7 @@ class FarmSimulation:
             occupancy_s=self.config.costs.full_occupancy_s,
             not_before=self._settles_at.get(vm.vm_id, 0.0),
         )
-        self.result.traffic.add(TrafficCategory.FULL_MIGRATION, vm.memory_mib)
+        self.ledger.traffic.add(TrafficCategory.FULL_MIGRATION, vm.memory_mib)
         self._trace_migration(
             "rehome", vm.vm_id, source.host_id, destination_id,
             vm.memory_mib, start, end,
@@ -663,7 +679,7 @@ class FarmSimulation:
         self._close_episode(vm.vm_id)
         self._settles_at[vm.vm_id] = end
         heappush(self._settle_heap, (end, vm.vm_id))
-        self.result.counters.rehomings += 1
+        self.ledger.counters.rehomings += 1
         self._consider_suspend(source)
         self._refresh_power(source)
         self._refresh_power(destination)
@@ -706,8 +722,8 @@ class FarmSimulation:
         reserve_one = self.scheduler.reserve_one
         settles = self._settles_at
         settle_heap = self._settle_heap
-        traffic_add = self.result.traffic.add
-        counters = self.result.counters
+        traffic_add = self.ledger.traffic.add
+        counters = self.ledger.counters
         dirty_add = self._power_dirty.add
         migration_abort = self._injector.migration_abort
         home_nic = ("nic", home.host_id)
@@ -794,7 +810,7 @@ class FarmSimulation:
         remaining = trigger.memory_mib - (trigger.working_set_mib or 0.0)
         if host.can_fit(remaining):
             return self._convert_in_place(trigger, now, fault_exempt=True)
-        destination = self.manager.reroute_activation(trigger)
+        destination = self.decisions.reroute_activation(trigger)
         if destination is not None:
             return self._rehome(trigger, destination, now, fault_exempt=True)
         return self._handle_wake_home_return_all(
@@ -818,8 +834,8 @@ class FarmSimulation:
         reserve_one = self.scheduler.reserve_one
         settles = self._settles_at
         settle_heap = self._settle_heap
-        traffic_add = self.result.traffic.add
-        counters = self.result.counters
+        traffic_add = self.ledger.traffic.add
+        counters = self.ledger.counters
         dirty_add = self._power_dirty.add
         migration_abort = self._injector.migration_abort
         full = Residency.FULL
@@ -913,12 +929,12 @@ class FarmSimulation:
         vm.full_migrate(home.host_id)
         home.attach(vm)
         self._sync_vm_index(vm)
-        self.result.traffic.add(TrafficCategory.FULL_MIGRATION, vm.memory_mib)
+        self.ledger.traffic.add(TrafficCategory.FULL_MIGRATION, vm.memory_mib)
         self._trace_migration(
             "exchange_full", vm.vm_id, consolidation.host_id, home.host_id,
             vm.memory_mib, start_full, end_full,
         )
-        self.result.counters.full_migrations += 1
+        self.ledger.counters.full_migrations += 1
         self._settles_at[vm.vm_id] = end_full
         heappush(self._settle_heap, (end_full, vm.vm_id))
 
@@ -937,7 +953,7 @@ class FarmSimulation:
                     ),
                     fraction,
                 )
-                self.result.counters.exchanges += 1
+                self.ledger.counters.exchanges += 1
                 self._refresh_power(home)
                 self._refresh_power(consolidation)
                 return
@@ -964,11 +980,11 @@ class FarmSimulation:
             self._episode_open.add(vm.vm_id)
             self._settles_at[vm.vm_id] = end_partial
             heappush(self._settle_heap, (end_partial, vm.vm_id))
-            self.result.counters.partial_migrations += 1
+            self.ledger.counters.partial_migrations += 1
             self._consider_suspend(home)
         # If the home was already awake running VMs, the returned full VM
         # simply stays there; the periodic planner handles it from now on.
-        self.result.counters.exchanges += 1
+        self.ledger.counters.exchanges += 1
         self._refresh_power(home)
         self._refresh_power(consolidation)
 
@@ -994,7 +1010,7 @@ class FarmSimulation:
         reserve_one = self.scheduler.reserve_one
         settles = self._settles_at
         settle_heap = self._settle_heap
-        counters = self.result.counters
+        counters = self.ledger.counters
         dirty_add = self._power_dirty.add
         migration_abort = self._injector.migration_abort
         partial_mode = MigrationMode.PARTIAL
@@ -1044,7 +1060,7 @@ class FarmSimulation:
                     costs.sample_descriptor_mib(self._traffic_rng)
                     + (vm.working_set_mib or 0.0)
                 )
-                self.result.traffic.add(
+                self.ledger.traffic.add(
                     TrafficCategory.PARTIAL_DESCRIPTOR, relocation_mib
                 )
                 self._trace_migration(
@@ -1064,7 +1080,7 @@ class FarmSimulation:
                 vm.full_migrate(destination.host_id)
                 destination.attach(vm)
                 self._sync_vm_index(vm)
-                self.result.traffic.add(
+                self.ledger.traffic.add(
                     TrafficCategory.FULL_MIGRATION, vm.memory_mib
                 )
                 self._trace_migration(
@@ -1091,7 +1107,7 @@ class FarmSimulation:
         reserve_one = self.scheduler.reserve_one
         settles = self._settles_at
         settle_heap = self._settle_heap
-        counters = self.result.counters
+        counters = self.ledger.counters
         dirty_add = self._power_dirty.add
         migration_abort = self._injector.migration_abort
         partial_mode = MigrationMode.PARTIAL
@@ -1164,7 +1180,7 @@ class FarmSimulation:
                 vm.full_migrate(destination.host_id)
                 destination.attach(vm)
                 self._sync_vm_index(vm)
-                self.result.traffic.add(
+                self.ledger.traffic.add(
                     TrafficCategory.FULL_MIGRATION, vm.memory_mib
                 )
                 self._trace_migration(
@@ -1182,23 +1198,15 @@ class FarmSimulation:
     def _record_partial_traffic(self) -> float:
         """Charge one partial migration's traffic; returns its total MiB.
 
-        Writes the ledger's backing lists directly: the sampled volumes
-        are floored at a tenth of their (positive) means, so the
-        ``add`` negativity check can never fire here.
+        The draws stay here (draw order is part of the engine); the
+        ledger write goes through the accounting seam, which performs
+        the same direct backing-list update this method used to inline.
         """
         rng = self._traffic_rng
         costs = self.config.costs
         descriptor_mib = costs.sample_descriptor_mib(rng)
         upload_mib = costs.sample_sas_upload_mib(rng)
-        ledger = self.result.traffic
-        mib = ledger._mib
-        events = ledger._events
-        index = TrafficCategory.PARTIAL_DESCRIPTOR.ledger_index
-        mib[index] += descriptor_mib
-        events[index] += 1
-        index = TrafficCategory.MEMORY_UPLOAD_SAS.ledger_index
-        mib[index] += upload_mib
-        events[index] += 1
+        self.ledger.record_partial_migration(descriptor_mib, upload_mib)
         return descriptor_mib + upload_mib
 
     def _close_episode(self, vm_id: int) -> None:
@@ -1213,10 +1221,7 @@ class FarmSimulation:
             demand_mib = self.config.costs.sample_on_demand_mib(
                 self._traffic_rng
             )
-            ledger = self.result.traffic
-            index = TrafficCategory.ON_DEMAND_PAGES.ledger_index
-            ledger._mib[index] += demand_mib
-            ledger._events[index] += 1
+            self.ledger.record_on_demand(demand_mib)
             if self.tracer.enabled:
                 self.tracer.observe(
                     "pages_fetched", demand_mib * KIB_PER_MIB / PAGE_SIZE_KIB
@@ -1224,7 +1229,7 @@ class FarmSimulation:
             timeouts = self._injector.page_timeouts()
             if timeouts:
                 retry_mib = timeouts * self.fault_profile.page_retry_mib
-                self.result.traffic.add(
+                self.ledger.traffic.add(
                     TrafficCategory.ON_DEMAND_PAGES, retry_mib
                 )
                 self.faults.page_fetch_timeouts += timeouts
@@ -1260,7 +1265,7 @@ class FarmSimulation:
             not_before=self._settles_at.get(vm_id, 0.0),
         )
         mib = nominal_mib * fraction
-        self.result.traffic.add(category, mib)
+        self.ledger.traffic.add(category, mib)
         self.faults.migration_aborts += 1
         self.faults.aborted_traffic_mib += mib
         self._trace_fault(
@@ -1483,11 +1488,11 @@ class FarmSimulation:
             return
         self.faults.crash_forced_wakeups += 1
         trigger = self.vms[min(host.served_image_ids)]
-        before = self.result.counters.reintegrations
+        before = self.ledger.counters.reintegrations
         self._handle_wake_home_return_all(
             trigger, self.sim.now, fault_exempt=True
         )
-        rescued = self.result.counters.reintegrations - before
+        rescued = self.ledger.counters.reintegrations - before
         self.faults.crash_forced_reintegrations += rescued
         self._trace_fault(
             "fault.crash_forced_wakeup", host=host_id, reintegrations=rescued
@@ -1496,9 +1501,9 @@ class FarmSimulation:
 
     def _count_wakeup(self, host: Host) -> None:
         if host.role is HostRole.COMPUTE:
-            self.result.counters.home_wakeups += 1
+            self.ledger.counters.home_wakeups += 1
         else:
-            self.result.counters.consolidation_wakeups += 1
+            self.ledger.counters.consolidation_wakeups += 1
 
     def _complete_resume(self, host_id: int) -> None:
         host = self.cluster.host(host_id)
@@ -1537,7 +1542,7 @@ class FarmSimulation:
         self._note_power_state(host)
         done = self.sim.now + self.config.host_power.suspend_s
         self._transition_done[host_id] = done
-        self.result.counters.suspends += 1
+        self.ledger.counters.suspends += 1
         self.sim.schedule_at(
             done, self._complete_suspend, host_id,
             label=f"suspend-done-{host_id}",
@@ -1561,7 +1566,7 @@ class FarmSimulation:
         self._flush_power()
 
     def _note_power_state(self, host: Host) -> None:
-        self.tracker.set_state(
+        self.ledger.set_state(
             host.host_id, host.power_state.value, self.sim.now
         )
         if self.tracer.enabled:
@@ -1654,16 +1659,15 @@ class FarmSimulation:
                 watts = served_w
             else:
                 watts = self._host_power.sleep_w
-        self.accountant.set_power(host.host_id, watts, self.sim.now)
+        self.ledger.set_power(host.host_id, watts, self.sim.now)
 
     def _finalize(self) -> None:
         self._flush_power()
         horizon = SECONDS_PER_DAY
         for vm_id in list(self._episode_open):
             self._close_episode(vm_id)
-        self.accountant.finish(horizon)
-        self.tracker.finish(horizon)
-        managed = self.accountant.total_joules()
+        self.ledger.finish(horizon)
+        managed = self.ledger.total_joules()
         baseline = baseline_energy_joules(
             self.config.host_power,
             home_hosts=self.config.home_hosts,
@@ -1678,9 +1682,11 @@ class FarmSimulation:
             fault_rollbacks=self.faults.total_rollbacks,
         )
         for host in self.cluster.home_hosts:
-            self.result.home_sleep_s[host.host_id] = self.tracker.duration(
-                host.host_id, _SLEEP_STATE
+            self.result.home_sleep_s[host.host_id] = (
+                self.ledger.state_duration(host.host_id, _SLEEP_STATE)
             )
+        self.result.state_time_s = self.ledger.state_time_s()
+        self.result.state_energy_j = self.ledger.state_energy_j()
         if self.tracer.enabled:
             # Close out sleep intervals still open at the horizon.
             for host_id in sorted(self._sleep_since):

@@ -381,6 +381,15 @@ def _aggregate_results(
     for zone, result in ordered:
         for local_id, slept in result.home_sleep_s.items():
             home_sleep_s[partition.global_home_id(zone, local_id)] = slept
+    state_time_s: Dict[str, float] = {}
+    state_energy_j: Dict[str, float] = {}
+    for result in results:
+        for state, seconds in result.state_time_s.items():
+            state_time_s[state] = state_time_s.get(state, 0.0) + seconds
+        for state, joules in result.state_energy_j.items():
+            state_energy_j[state] = (
+                state_energy_j.get(state, 0.0) + joules
+            )
     return FarmResult(
         policy_name=first.policy_name,
         day_type=first.day_type,
@@ -409,6 +418,8 @@ def _aggregate_results(
         faults=faults,
         energy=energy,
         home_sleep_s=home_sleep_s,
+        state_time_s=dict(sorted(state_time_s.items())),
+        state_energy_j=dict(sorted(state_energy_j.items())),
     )
 
 

@@ -194,8 +194,17 @@ def _build_ensemble(case: BenchCase, config: FarmConfig) -> TraceEnsemble:
 
 
 def _day_fingerprint(result) -> Dict[str, object]:
-    """Everything result-shaped the report pins (no timings)."""
+    """Everything result-shaped the report pins (no timings).
+
+    Includes the equivalence battery's typed fingerprint
+    (:func:`repro.equiv.fingerprint_from_result`), so a committed
+    report diff can be fed straight into ``equiv compare`` when a
+    future engine legitimately reorders floating-point work instead of
+    drifting by accident.
+    """
     import dataclasses
+
+    from repro.equiv import fingerprint_from_result
 
     return {
         "savings_fraction": result.savings_fraction,
@@ -206,6 +215,7 @@ def _day_fingerprint(result) -> Dict[str, object]:
         "delay_samples": len(result.delays),
         "peak_active_vms": result.peak_active_vms,
         "min_powered_hosts": result.min_powered_hosts,
+        "equiv": fingerprint_from_result(result).as_dict(),
     }
 
 

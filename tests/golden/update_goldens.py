@@ -59,6 +59,24 @@ GAMMA_SEEDS = {
     "GammaRobust@3": 23,
 }
 
+EQUIV_BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "equiv_baseline.json"
+)
+
+#: The equivalence baseline: per-policy fingerprint ensembles at pinned
+#: derived seeds (see ``repro.equiv.harness.ensemble_seeds``).  A future
+#: engine variant is certified by replaying these seeds and passing the
+#: paired battery (``oasis-sim equiv compare``).
+EQUIV_ROOT_SEED = 2016
+EQUIV_ENSEMBLE_SIZE = 20
+EQUIV_POLICIES = (
+    "OnlyPartial",
+    "Default",
+    "FulltoPartial",
+    "NewHome",
+    "GammaRobust@1",
+)
+
 TRACE_GOLDEN_PATH = os.path.join(
     os.path.dirname(__file__), "trace_golden.jsonl"
 )
@@ -157,6 +175,25 @@ def build_gamma_goldens() -> dict:
     return goldens
 
 
+def build_equiv_baseline() -> None:
+    from repro.equiv import build_baseline, write_baseline
+    from repro.farm import FarmConfig
+    from repro.traces import DayType
+
+    payload = build_baseline(
+        FarmConfig(**FARM_SHAPE),
+        EQUIV_POLICIES,
+        DayType.WEEKDAY,
+        root_seed=EQUIV_ROOT_SEED,
+        ensemble_size=EQUIV_ENSEMBLE_SIZE,
+    )
+    write_baseline(EQUIV_BASELINE_PATH, payload)
+    print(
+        f"wrote {EQUIV_BASELINE_PATH} "
+        f"({len(EQUIV_POLICIES)} policies x {EQUIV_ENSEMBLE_SIZE} seeds)"
+    )
+
+
 def record_trace():
     """Run the pinned traced mini-day; returns its RecordingTracer."""
     from repro.core import policy_by_name
@@ -201,6 +238,7 @@ def main() -> int:
         handle.write("\n")
     print(f"wrote {GAMMA_GOLDEN_PATH}")
     build_trace_goldens()
+    build_equiv_baseline()
     print("Diff it, explain every changed number, commit it with your change.")
     return 0
 

@@ -160,3 +160,57 @@ class TestStrategyScopeCoverage:
             dotted.startswith("repro.policies.gamma.")
             for dotted in ctx.classes
         ), "expected GammaRobustPlanner in the linked project"
+
+
+class TestEquivScopeCoverage:
+    """The equivalence harness is inside every checker scope.
+
+    ``repro.equiv`` runs simulations and derives ensemble seeds, so the
+    DET pack and the whole-program FLOW scope must cover it — the
+    battery that certifies engine variants must itself meet the
+    determinism bar it enforces on the engine.  ``repro.equiv`` is a
+    top-level package (not under ``repro.farm``), so its membership is
+    an explicit :data:`SIMULATION_PACKAGES` entry these tests pin.
+    """
+
+    def test_det_scope_includes_equiv(self):
+        import ast
+
+        from repro.checkers.base import ModuleContext
+        from repro.checkers.rules.determinism import SIMULATION_PACKAGES
+
+        for module_name, path in (
+            ("repro.equiv.harness", "src/repro/equiv/harness.py"),
+            ("repro.equiv.mutants", "src/repro/equiv/mutants.py"),
+            ("repro.equiv.battery", "src/repro/equiv/battery.py"),
+        ):
+            ctx = ModuleContext(
+                module_name=module_name,
+                path=path,
+                tree=ast.parse(""),
+                source="",
+            )
+            assert ctx.in_packages(SIMULATION_PACKAGES), module_name
+
+    def test_flow_scope_includes_equiv(self):
+        from repro.checkers.flow.rules_flow import _in_flow_scope
+
+        assert _in_flow_scope("repro.equiv.harness")
+        assert _in_flow_scope("repro.equiv.mutants")
+
+    def test_flow_linker_sees_the_mutant_registry(self):
+        # Non-vacuity: the whole-program pass must actually link the
+        # harness and mutant classes (including the biased-RNG mutant's
+        # reviewed noqa), not skip the package as out-of-tree.
+        result = check_project([PACKAGE_ROOT])
+        ctx = result.context
+        assert ctx is not None
+        assert any(
+            dotted.startswith("repro.equiv.mutants.")
+            for dotted in ctx.classes
+        ), "expected the mutant taps in the linked project"
+        assert any(
+            dotted.startswith("repro.equiv.")
+            and dotted.endswith(".RunFingerprint")
+            for dotted in ctx.classes
+        ), "expected RunFingerprint in the linked project"

@@ -1,0 +1,79 @@
+"""The committed equivalence baseline certifies the current engine.
+
+``tests/golden/equiv_baseline.json`` pins fingerprint ensembles for the
+four paper policies plus ``GammaRobust@1`` at derived seeds.  The
+current engine, replayed at those seeds, must be *bit-identical* to the
+committed fingerprints — not merely statistically accepted — because
+the baseline was produced by this same engine.  A future engine variant
+only has to pass the paired battery (``oasis-sim equiv compare``); the
+reference engine itself has no excuse for any drift at all.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.equiv import (
+    baseline_seeds,
+    compare_to_baseline,
+    ensemble_seeds,
+    load_baseline,
+    read_baseline,
+)
+from repro.farm import FarmConfig
+from tests.golden.update_goldens import (
+    EQUIV_BASELINE_PATH,
+    EQUIV_ENSEMBLE_SIZE,
+    EQUIV_POLICIES,
+    EQUIV_ROOT_SEED,
+    FARM_SHAPE,
+)
+
+pytestmark = [pytest.mark.equiv, pytest.mark.slow]
+
+
+@pytest.fixture(scope="module")
+def payload():
+    assert os.path.exists(EQUIV_BASELINE_PATH), (
+        "missing tests/golden/equiv_baseline.json; run "
+        "PYTHONPATH=src python tests/golden/update_goldens.py"
+    )
+    return read_baseline(EQUIV_BASELINE_PATH)
+
+
+class TestCommittedBaseline:
+    def test_covers_the_committed_policies(self, payload):
+        assert sorted(payload["policies"]) == sorted(EQUIV_POLICIES)
+
+    def test_seeds_match_the_derivation(self, payload):
+        assert baseline_seeds(payload) == ensemble_seeds(
+            EQUIV_ROOT_SEED, EQUIV_ENSEMBLE_SIZE
+        )
+
+    def test_every_ensemble_is_full_size(self, payload):
+        for name, fingerprints in load_baseline(payload).items():
+            assert len(fingerprints) == EQUIV_ENSEMBLE_SIZE, name
+            assert [fp.seed for fp in fingerprints] == baseline_seeds(
+                payload
+            ), name
+
+    def test_file_is_stably_formatted(self, payload):
+        with open(EQUIV_BASELINE_PATH, encoding="utf-8") as handle:
+            on_disk = handle.read()
+        assert on_disk == json.dumps(
+            payload, indent=2, sort_keys=True
+        ) + "\n"
+
+    @pytest.mark.parametrize("policy", ["FulltoPartial", "GammaRobust@1"])
+    def test_current_engine_is_bit_identical_to_baseline(
+        self, payload, policy
+    ):
+        report = compare_to_baseline(
+            payload, FarmConfig(**FARM_SHAPE), policy
+        )
+        assert report.paired
+        assert report.equivalent, report.render()
+        assert all(v.p_value > 0.999 for v in report.verdicts), (
+            "the reference engine drifted from its own committed baseline"
+        )

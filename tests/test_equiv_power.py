@@ -1,0 +1,95 @@
+"""Mutation self-tests: the battery must prove its own power.
+
+Every registered mutant (a deliberately defective engine) must be
+rejected at the committed ensemble size, the identity mutant must be
+accepted bit-for-bit, and the reference engine must accept itself
+across disjoint seed ranges.  This is the evidence that a future
+``equiv compare`` acceptance of an engine variant means something.
+
+The full battery simulates a few hundred small-farm days (~10 s), so it
+carries the ``equiv`` and ``slow`` markers; CI's quick tier skips it
+and runs the thin ``equiv-smoke`` subset instead.
+"""
+
+import pytest
+
+from repro.equiv import (
+    COMMITTED_ENSEMBLE_SIZE,
+    MUTANTS,
+    mutant_by_name,
+    mutant_names,
+    run_selftest,
+)
+from repro.errors import ConfigError
+from repro.farm import FarmConfig
+from repro.traces import DayType
+from tests.golden.update_goldens import EQUIV_ROOT_SEED, FARM_SHAPE
+
+pytestmark = [pytest.mark.equiv, pytest.mark.slow]
+
+
+@pytest.fixture(scope="module")
+def selftest():
+    """One full self-test run shared by every assertion below."""
+    return run_selftest(
+        FarmConfig(**FARM_SHAPE),
+        "FulltoPartial",
+        DayType.WEEKDAY,
+        root_seed=EQUIV_ROOT_SEED,
+        ensemble_size=COMMITTED_ENSEMBLE_SIZE,
+    )
+
+
+class TestRegistry:
+    def test_at_least_six_reject_mutants_registered(self):
+        rejecting = [m for m in MUTANTS.values() if m.should_reject]
+        assert len(rejecting) >= 6
+
+    def test_identity_is_registered_and_accepting(self):
+        assert not MUTANTS["identity"].should_reject
+
+    def test_names_are_stable(self):
+        assert set(mutant_names()) == set(MUTANTS)
+        assert mutant_names()[0] == "identity"
+
+    def test_unknown_mutant_rejected(self):
+        with pytest.raises(ConfigError):
+            mutant_by_name("no-such-defect")
+
+
+class TestPower:
+    def test_selftest_passes_wholesale(self, selftest):
+        assert selftest.passed, selftest.render()
+
+    def test_ran_at_the_committed_ensemble_size(self, selftest):
+        assert selftest.ensemble_size == COMMITTED_ENSEMBLE_SIZE == 20
+
+    @pytest.mark.parametrize("name", sorted(MUTANTS))
+    def test_each_mutant_gets_its_required_verdict(self, selftest, name):
+        trial = {t.mutant: t for t in selftest.trials}[name]
+        assert trial.rejected == trial.should_reject, (
+            f"{name}: want "
+            f"{'reject' if trial.should_reject else 'accept'}, got "
+            f"{'rejected' if trial.rejected else 'accepted'}\n"
+            + trial.report.render()
+        )
+
+    def test_identity_is_bit_identical_not_just_accepted(self, selftest):
+        identity = {t.mutant: t for t in selftest.trials}["identity"]
+        assert identity.report.paired
+        assert all(
+            v.p_value > 0.999 for v in identity.report.verdicts
+        ), "identity mutant drifted from the reference engine"
+
+    def test_reference_accepts_itself_across_disjoint_seeds(self, selftest):
+        report = selftest.disjoint_report
+        assert not report.paired, "disjoint seed ranges must not pair"
+        assert report.equivalent, report.render()
+
+    def test_rejections_carry_explanatory_verdicts(self, selftest):
+        for trial in selftest.trials:
+            if trial.rejected:
+                failures = trial.report.failures()
+                assert failures, trial.mutant
+                for verdict in failures:
+                    assert verdict.p_value < verdict.threshold

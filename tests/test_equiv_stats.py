@@ -1,0 +1,177 @@
+"""Known-value and invariant tests for the pure-stdlib test battery.
+
+The statistical kernels gate engine certification, so they are pinned
+against textbook reference points (binomial tail sums, chi-square and
+Kolmogorov critical values) rather than against themselves.
+"""
+
+import math
+
+import pytest
+
+from repro.equiv.stats import (
+    binom_two_sided_p,
+    chi_square_homogeneity,
+    chi_square_p_value,
+    count_split_p_value,
+    ks_p_value,
+    ks_statistic,
+    ks_two_sample,
+    pooled_dispersion,
+    sign_test_p_value,
+)
+from repro.errors import ConfigError
+
+
+class TestKolmogorovSmirnov:
+    def test_disjoint_samples_have_statistic_one(self):
+        assert ks_statistic([1.0, 2.0, 3.0], [4.0, 5.0, 6.0]) == 1.0
+
+    def test_identical_samples_have_statistic_zero(self):
+        sample = [3.0, 1.0, 2.0, 5.0]
+        assert ks_statistic(sample, sample) == 0.0
+        result = ks_two_sample(sample, sample)
+        assert result.p_value == 1.0
+
+    def test_interleaved_samples_statistic(self):
+        # F_a - F_b peaks at 1/2 for a=[1,3], b=[2,4].
+        assert ks_statistic([1.0, 3.0], [2.0, 4.0]) == pytest.approx(0.5)
+
+    def test_critical_value_reproduces_kolmogorov_five_percent(self):
+        # The classic lambda = 1.358 is the 5% point of Kolmogorov's
+        # distribution; invert the Stephens scaling at n=1000 per side.
+        root_en = math.sqrt(1000 * 1000 / 2000)
+        d = 1.358 / (root_en + 0.12 + 0.11 / root_en)
+        p = ks_p_value(d, 1000, 1000)
+        assert 0.045 < p < 0.055
+
+    def test_p_decreases_with_statistic(self):
+        ps = [ks_p_value(d, 50, 50) for d in (0.1, 0.2, 0.3, 0.5)]
+        assert ps == sorted(ps, reverse=True)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ConfigError):
+            ks_statistic([], [1.0])
+
+
+class TestBinomial:
+    def test_symmetric_two_sided_tail(self):
+        # 2 * P(X >= 8 | n=10, p=1/2) = 2 * 56/1024.
+        assert binom_two_sided_p(8, 10, 0.5) == pytest.approx(0.109375)
+
+    def test_extreme_outcome(self):
+        assert binom_two_sided_p(0, 10, 0.5) == pytest.approx(2 / 1024)
+
+    def test_central_outcome_is_one(self):
+        assert binom_two_sided_p(5, 10, 0.5) == pytest.approx(1.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            binom_two_sided_p(11, 10, 0.5)
+        with pytest.raises(ConfigError):
+            binom_two_sided_p(1, 10, 1.0)
+
+
+class TestSignTest:
+    def test_known_eighteen_of_twenty(self):
+        # 2 * (C(20,0) + C(20,1) + C(20,2)) / 2^20 = 422 / 1048576.
+        result = sign_test_p_value(18, 2)
+        assert result.p_value == pytest.approx(422 / 1048576)
+
+    def test_all_ties_pass(self):
+        assert sign_test_p_value(0, 0).p_value == 1.0
+
+    def test_balanced_signs_pass(self):
+        assert sign_test_p_value(10, 10).p_value > 0.5
+
+
+class TestCountSplit:
+    def test_equal_totals_pass(self):
+        assert count_split_p_value(100, 100).p_value > 0.9
+
+    def test_lopsided_totals_reject(self):
+        assert count_split_p_value(150, 50).p_value < 1e-10
+
+    def test_zero_totals_pass(self):
+        assert count_split_p_value(0, 0).p_value == 1.0
+
+    def test_unequal_run_counts_shift_the_null(self):
+        # 200 vs 100 events over 2 vs 1 runs is exactly the null split.
+        assert count_split_p_value(200, 100, n_a=2, n_b=1).p_value > 0.9
+
+    def test_dispersion_deflates_significance(self):
+        raw = count_split_p_value(240, 160).p_value
+        corrected = count_split_p_value(240, 160, dispersion=8.0).p_value
+        assert corrected > raw
+
+    def test_large_totals_use_chi_square_branch(self):
+        p = count_split_p_value(10_000, 10_000).p_value
+        assert p > 0.9
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            count_split_p_value(-1, 5)
+        with pytest.raises(ConfigError):
+            count_split_p_value(1, 5, dispersion=0.5)
+
+
+class TestPooledDispersion:
+    def test_constant_columns_clamp_to_one(self):
+        assert pooled_dispersion([5, 5, 5], [5, 5, 5]) == 1.0
+
+    def test_overdispersed_counts_exceed_one(self):
+        assert pooled_dispersion([0, 200, 0, 200], [0, 200, 0, 200]) > 10.0
+
+    def test_between_column_shift_is_not_dispersion(self):
+        # Variance is pooled within each column, so a pure mean shift
+        # between the ensembles does not inflate the estimate.
+        assert pooled_dispersion([50, 50, 50], [90, 90, 90]) == 1.0
+
+    def test_empty_column_rejected(self):
+        with pytest.raises(ConfigError):
+            pooled_dispersion([], [1.0])
+
+
+class TestChiSquare:
+    def test_one_dof_critical_value(self):
+        assert 0.045 < chi_square_p_value(3.841, 1) < 0.055
+
+    def test_two_dof_critical_value(self):
+        assert 0.045 < chi_square_p_value(5.991, 2) < 0.055
+
+    def test_zero_statistic_is_one(self):
+        assert chi_square_p_value(0.0, 3) == 1.0
+
+    def test_invalid_dof_rejected(self):
+        with pytest.raises(ConfigError):
+            chi_square_p_value(1.0, 0)
+
+
+class TestHomogeneity:
+    def test_identical_histograms_pass(self):
+        result, dof = chi_square_homogeneity([10, 20, 30], [10, 20, 30])
+        assert result.p_value > 0.99
+        assert dof >= 1
+
+    def test_disjoint_histograms_reject(self):
+        result, _ = chi_square_homogeneity([50, 0], [0, 50])
+        assert result.p_value < 1e-10
+
+    def test_both_empty_bins_are_dropped(self):
+        full, _ = chi_square_homogeneity([10, 0, 30], [12, 0, 28])
+        trimmed, _ = chi_square_homogeneity([10, 30], [12, 28])
+        assert full.p_value == pytest.approx(trimmed.p_value)
+
+    def test_sparse_bins_merge(self):
+        # All bins pooled < 5 collapse into one cell: trivially passes.
+        result, dof = chi_square_homogeneity([1, 1, 1], [1, 0, 1])
+        assert dof == 0
+        assert result.p_value == 1.0
+
+    def test_mismatched_binning_rejected(self):
+        with pytest.raises(ConfigError):
+            chi_square_homogeneity([1, 2], [1, 2, 3])
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            chi_square_homogeneity([1, -2], [1, 2])

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.cluster",
     "repro.core",
     "repro.energy",
+    "repro.equiv",
     "repro.farm",
     "repro.memserver",
     "repro.migration",
